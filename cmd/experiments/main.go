@@ -1,0 +1,92 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§VII-VIII) on the synthetic stand-in workloads:
+//
+//	experiments -run table1      accelerator configuration (Table I)
+//	experiments -run table2      matrix set + blocking efficiency (Table II)
+//	experiments -run table3      crossbar area/energy/latency (Table III)
+//	experiments -run fig6        activation scheduling policies (Figure 6)
+//	experiments -run fig7        blocking patterns, Pres_Poisson + xenon1 (Figure 7)
+//	experiments -run fig8        speedup over the GPU baseline (Figure 8)
+//	experiments -run fig9        energy vs the GPU baseline (Figure 9)
+//	experiments -run fig10       preprocessing + write overhead (Figure 10)
+//	experiments -run fig11       ns3Da blocking breakdown (Figure 11)
+//	experiments -run fig12       sensitivity to cell dynamic range (Figure 12)
+//	experiments -run fig13       sensitivity to programming error (Figure 13)
+//	experiments -run area        system area footprint (§VIII-C)
+//	experiments -run endurance   system lifetime (§VIII-E)
+//	experiments -run ablation    per-technique gains (§IV, §V-B2)
+//	experiments -run direct      direct-method fill-in (§II-B)
+//	experiments -run motivation  low-precision datapaths stall (§I)
+//	experiments -run all         everything above
+//
+// Results print as aligned tables and ASCII bar charts; -csv switches the
+// tabular output to CSV. Full-size workload generation plus modeling runs
+// in seconds; the Monte-Carlo figures honor -trials.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type options struct {
+	run     string
+	csv     bool
+	trials  int
+	scale   float64
+	seed    int64
+	measure bool
+}
+
+func main() {
+	var opt options
+	flag.StringVar(&opt.run, "run", "all", "experiment to run (table1|table2|table3|fig6..fig13|area|endurance|ablation|direct|all)")
+	flag.BoolVar(&opt.csv, "csv", false, "emit tables as CSV")
+	flag.IntVar(&opt.trials, "trials", 12, "Monte-Carlo trials for fig12/fig13 (paper: 100)")
+	flag.Float64Var(&opt.scale, "scale", 1.0, "matrix scale factor for the modeling experiments")
+	flag.Int64Var(&opt.seed, "seed", 1, "Monte-Carlo base seed")
+	flag.BoolVar(&opt.measure, "measure-iters", false, "measure solver iteration counts on scaled stand-ins instead of using the catalog counts")
+	flag.Parse()
+
+	runs := map[string]func(*options) error{
+		"table1":     runTable1,
+		"table2":     runTable2,
+		"table3":     runTable3,
+		"fig6":       runFig6,
+		"fig7":       runFig7,
+		"fig8":       runFig8,
+		"fig9":       runFig9,
+		"fig10":      runFig10,
+		"fig11":      runFig11,
+		"fig12":      runFig12,
+		"ablation":   runAblation,
+		"motivation": runMotivation,
+		"direct":     runDirect,
+		"fig13":      runFig13,
+		"area":       runArea,
+		"endurance":  runEndurance,
+	}
+	order := []string{"table1", "table2", "table3", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "area", "endurance",
+		"ablation", "direct", "motivation"}
+
+	names := []string{opt.run}
+	if opt.run == "all" {
+		names = order
+	}
+	for _, n := range names {
+		f, ok := runs[n]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", n)
+			os.Exit(2)
+		}
+		fmt.Printf("==== %s ====\n", strings.ToUpper(n))
+		if err := f(&opt); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"memsci/internal/blocking"
+	"memsci/internal/core"
+	"memsci/internal/energy"
+	"memsci/internal/matgen"
+	"memsci/internal/report"
+)
+
+func emit(t *report.Table, opt *options) {
+	if opt.csv {
+		t.CSV(os.Stdout)
+	} else {
+		t.Fprint(os.Stdout)
+	}
+}
+
+// runTable1 prints the accelerator configuration (Table I).
+func runTable1(opt *options) error {
+	cfg := energy.Default()
+	t := report.NewTable("component", "configuration")
+	t.Add("System", fmt.Sprintf("%d banks, double-precision floating point, f=%.1f GHz", cfg.Banks, cfg.ClockHz/1e9))
+	bank := ""
+	for _, cc := range cfg.ClusterCounts() {
+		bank += fmt.Sprintf("(%d) %dx%d clusters, ", cc.Count, cc.Size, cc.Size)
+	}
+	t.Add("Bank", bank+"1 local processor (LEON3-class)")
+	t.Add("Cluster", fmt.Sprintf("%d bit-slice crossbars, shift-and-add reduction", cfg.PlanesPerCluster))
+	t.Add("Crossbar", "NxN single-bit cells, (log2(N)-1)-bit pipelined SAR ADC (CIC), 2N drivers")
+	t.Add("Cell", "TaOx, Ron=2kOhm, Roff=3MOhm, Vread=0.2V, Ewrite=3.91nJ, Twrite=50.88ns")
+	t.Add("Operand", fmt.Sprintf("%d-bit aligned fixed point + %d-bit AN code (A=251)", core.OperandBits, 9))
+	t.Add("Vector section", fmt.Sprintf("%d elements per bank", cfg.VectorSection))
+	emit(t, opt)
+	return nil
+}
+
+// runTable2 regenerates Table II: the matrix set with measured blocking
+// efficiency next to the paper's.
+func runTable2(opt *options) error {
+	t := report.NewTable("matrix", "rows", "nnz", "nnz/row", "blocked", "paper", "passes", "excluded")
+	for _, spec := range matgen.Catalog() {
+		m := generate(spec, opt)
+		plan, err := blocking.Preprocess(m, blocking.DefaultSubstrate())
+		if err != nil {
+			return err
+		}
+		t.Add(spec.Name, m.Rows(), m.NNZ(),
+			fmt.Sprintf("%.1f", float64(m.NNZ())/float64(m.Rows())),
+			fmt.Sprintf("%.1f%%", plan.Stats.Efficiency()*100),
+			fmt.Sprintf("%.1f%%", spec.PaperBlocked*100),
+			fmt.Sprintf("%.2f", plan.Stats.Passes()),
+			plan.Stats.ExcludedNNZ)
+	}
+	emit(t, opt)
+	fmt.Println("\npasses = entry touches per nonzero during preprocessing (paper: worst 4, avg 1.8)")
+	return nil
+}
+
+// runTable3 prints per-crossbar area, energy, and latency (Table III).
+func runTable3(opt *options) error {
+	cfg := energy.Default()
+	t := report.NewTable("size", "area [mm2]", "energy [pJ]", "latency [ns]", "ADC res [bits]", "write [us]")
+	for _, size := range []int{64, 128, 256, 512} {
+		t.Add(size,
+			fmt.Sprintf("%.5f", cfg.XbarArea(size)),
+			fmt.Sprintf("%.1f", cfg.XbarOpEnergy(size)*1e12),
+			fmt.Sprintf("%.1f", cfg.XbarOpLatency(size)*1e9),
+			fmt.Sprintf("%d", adcRes(size)),
+			fmt.Sprintf("%.1f", cfg.ClusterWriteTime(size)*1e6))
+	}
+	emit(t, opt)
+	fmt.Println("\npaper Table III: 64/128/256/512 -> 0.00078/0.00103/0.00162/0.00352 mm2, 28.0/65.2/150/342 pJ, 53.3/107/213/427 ns")
+	return nil
+}
+
+func adcRes(size int) int {
+	r := 0
+	for n := size; n > 1; n >>= 1 {
+		r++
+	}
+	return r - 1 // CIC saves one bit (§V-B2)
+}

@@ -1,0 +1,92 @@
+// Design-space exploration: the §V-A trade-offs behind the heterogeneous
+// substrate. Sweeps crossbar sizes against block densities and prints
+// throughput, energy, and the efficiency crossover that motivates mixing
+// 512/256/128/64 clusters — plus the scheduling-policy trade-off of
+// Figure 6 at full scale.
+//
+//	go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"memsci/internal/core"
+	"memsci/internal/energy"
+	"memsci/internal/report"
+)
+
+func main() {
+	cfg := energy.Default()
+
+	fmt.Println("== Crossbar sizing (§V-A): throughput vs energy per captured nonzero ==")
+	t := report.NewTable("size", "density", "nnz", "latency", "throughput [nnz/µs]", "energy/op", "pJ/nnz")
+	for _, size := range []int{64, 128, 256, 512} {
+		for _, density := range []float64{0.005, 0.01, 0.03, 0.10} {
+			nnz := float64(size) * float64(size) * density
+			lat := cfg.XbarOpLatency(size)
+			// One cluster MVM ≈ 64 slices (narrow-range operand).
+			opTime := 64 * lat
+			opEnergy := 64 * cfg.ClusterOpEnergy(size)
+			t.Add(size,
+				fmt.Sprintf("%.1f%%", density*100),
+				int(nnz),
+				report.SI(opTime, "s"),
+				fmt.Sprintf("%.0f", nnz/(opTime*1e6)),
+				report.SI(opEnergy, "J"),
+				fmt.Sprintf("%.1f", opEnergy*1e12/nnz))
+		}
+	}
+	t.Fprint(os.Stdout)
+	fmt.Println("\nreading: a 512 crossbar at 0.5% density wastes energy (high pJ/nnz);")
+	fmt.Println("the same nonzeros in dense 64 blocks cost ~an order of magnitude less —")
+	fmt.Println("hence the heterogeneous substrate and the density threshold (§V-B).")
+
+	fmt.Println("\n== ADC resolution: the CIC saving (§V-B2) ==")
+	t2 := report.NewTable("rows", "plain ADC [bits]", "with CIC [bits]", "ADC energy scale")
+	for _, size := range []int{64, 128, 256, 512} {
+		plain := log2ceil(size + 1)
+		cic := plain - 1
+		// §V-A: ADC power grows exponentially with resolution; one bit
+		// saved roughly halves the exponential share.
+		t2.Add(size, plain, cic, "≈0.5x on the exponential component")
+	}
+	t2.Fprint(os.Stdout)
+
+	fmt.Println("\n== Activation scheduling at full scale (Fig. 6 policies, 127×64 slice grid) ==")
+	t3 := report.NewTable("policy", "cutoff", "activations", "steps", "energy proxy", "latency proxy")
+	for _, cutoff := range []int{60, 100, 140} {
+		for _, pc := range []struct {
+			p     core.Policy
+			bands int
+			name  string
+		}{
+			{core.Vertical, 0, "vertical"},
+			{core.Hybrid, 2, "hybrid(2)"},
+			{core.Hybrid, 8, "hybrid(8)"},
+			{core.Diagonal, 0, "diagonal"},
+		} {
+			_, st := core.PlanSchedule(pc.p, 127, 64, cutoff, pc.bands)
+			_, v := core.PlanSchedule(core.Vertical, 127, 64, cutoff, 0)
+			t3.Add(pc.name, cutoff, st.Activations, st.Steps,
+				fmt.Sprintf("%.2f", float64(st.Activations)/float64(v.Activations)),
+				fmt.Sprintf("%.2f", float64(st.Steps)/float64(v.Steps)))
+		}
+	}
+	t3.Fprint(os.Stdout)
+	fmt.Println("\nthe evaluation adopts the hybrid policy: most of the diagonal schedule's")
+	fmt.Println("energy saving at a fraction of its latency cost (§IV-B).")
+
+	fmt.Println("\n== System footprint (§VIII-C) ==")
+	a := cfg.SystemArea()
+	fmt.Printf("total %.0f mm² (P100 die: 610 mm²): crossbars+periphery %.1f%%, processors+memory %.1f%%\n",
+		a.Total, a.CrossbarShare()*100, a.ProcessorShare()*100)
+}
+
+func log2ceil(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,79 @@
+// Time-stepped simulation: the §VIII-D usage pattern the endurance and
+// amortization arguments rest on. A physical model is advanced through
+// many time steps; each step changes only a subset of matrix values while
+// preserving the structure, so the crossbars re-program incrementally and
+// the preprocessing is reused. This example walks a sequence of time
+// steps and accounts the programming cost against the solve cost.
+//
+//	go run ./examples/timestep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memsci"
+)
+
+func main() {
+	spec, err := memsci.MatrixByName("qa8fm") // acoustics: a classic time-stepped domain
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := spec.Generate()
+	fmt.Printf("qa8fm stand-in: %dx%d, %d nnz — time-stepped acoustic simulation (§VIII-D)\n",
+		a.Rows(), a.Cols(), a.NNZ())
+
+	sys := memsci.NewSystem()
+	ev, err := memsci.Evaluate(spec.Name, a, !spec.SPD, spec.SolveIters, sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mapped := ev.Mapped
+
+	const (
+		steps       = 50
+		changedFrac = 0.05 // 5% of the cells change value per time step
+	)
+	solvePerStep := float64(ev.Iters) * ev.AccelIterTime
+
+	fullWrite := mapped.WriteTime()
+	incWrite := mapped.IncrementalWriteTime(changedFrac)
+
+	fmt.Printf("\nper time step: solve %s (%d CG iterations)\n",
+		si(solvePerStep), ev.Iters)
+	fmt.Printf("programming: initial full write %s; per-step incremental write %s (%.0f%% of cells)\n",
+		si(fullWrite), si(incWrite), changedFrac*100)
+
+	naive := ev.PreprocessTime + float64(steps)*(fullWrite+solvePerStep)
+	incremental := ev.PreprocessTime + fullWrite + float64(steps-1)*(incWrite+solvePerStep) + solvePerStep
+	fmt.Printf("\n%d time steps:\n", steps)
+	fmt.Printf("  re-programming everything each step: %s (overhead %.2f%%)\n",
+		si(naive), 100*float64(steps)*fullWrite/naive)
+	fmt.Printf("  incremental re-programming:          %s (overhead %.4f%%)\n",
+		si(incremental), 100*(fullWrite+float64(steps-1)*incWrite)/incremental)
+
+	// Endurance under the §VIII-E conservative assumption vs the
+	// time-stepped reality.
+	cfg := sys.Cfg
+	fullWritesPerDay := 24 * 3600 / (solvePerStep + fullWrite)
+	incWritesPerDay := 24 * 3600 / (solvePerStep + incWrite) * changedFrac
+	fmt.Printf("\nendurance (10^%d cell writes): conservative full-rewrite model consumes %.2g writes/day,\n",
+		9, fullWritesPerDay)
+	fmt.Printf("the time-stepped pattern only %.2g effective writes/day — a %.0fx lifetime extension\n",
+		incWritesPerDay, fullWritesPerDay/incWritesPerDay)
+	_ = cfg
+	fmt.Println("\n§VIII-D: \"only a subset of non-zeros change each step, and the matrix structure")
+	fmt.Println("is typically preserved, requiring minimal re-processing\"")
+}
+
+func si(v float64) string {
+	switch {
+	case v >= 1:
+		return fmt.Sprintf("%.2f s", v)
+	case v >= 1e-3:
+		return fmt.Sprintf("%.2f ms", v*1e3)
+	default:
+		return fmt.Sprintf("%.1f µs", v*1e6)
+	}
+}

@@ -1,0 +1,3 @@
+module memsci
+
+go 1.22

@@ -1,0 +1,234 @@
+package accel
+
+import (
+	"math/rand"
+	"testing"
+
+	"memsci/internal/blocking"
+	"memsci/internal/matgen"
+	"memsci/internal/sparse"
+)
+
+func blockDiagMatrix(n, blockSize int, density float64, seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	m := sparse.NewCOO(n, n)
+	for b := 0; b < n/blockSize; b++ {
+		base := b * blockSize
+		for i := 0; i < blockSize; i++ {
+			for j := 0; j < blockSize; j++ {
+				if rng.Float64() < density {
+					m.Add(base+i, base+j, -(1 + rng.Float64()))
+				}
+			}
+		}
+	}
+	m.Compact()
+	c := m.ToCSR()
+	return c
+}
+
+func mustPlan(t *testing.T, m *sparse.CSR) *blocking.Plan {
+	t.Helper()
+	plan, err := blocking.Preprocess(m, blocking.DefaultSubstrate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestMapBasic(t *testing.T) {
+	m := blockDiagMatrix(2048, 128, 0.2, 1)
+	plan := mustPlan(t, m)
+	sys := NewSystem()
+	mapped, err := Map(plan, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapped.TotalBlocks() != len(plan.Blocks) {
+		t.Errorf("assigned %d of %d blocks", mapped.TotalBlocks(), len(plan.Blocks))
+	}
+	if mapped.SpilledNNZ != 0 {
+		t.Errorf("unexpected spill %d", mapped.SpilledNNZ)
+	}
+	if mapped.OwnerBanks != (2048+sys.Cfg.VectorSection-1)/sys.Cfg.VectorSection {
+		t.Errorf("owner banks %d", mapped.OwnerBanks)
+	}
+}
+
+// Capacity: more blocks of a size than physical clusters must split down,
+// conserving nonzeros.
+func TestMapCapacityOverflowSplits(t *testing.T) {
+	sys := NewSystem()
+	sys.Cfg.Banks = 2 // tiny system: 4×512, 8×256, 12×128, 16×64 clusters
+	m := blockDiagMatrix(512*8, 512, 0.05, 2)
+	plan := mustPlan(t, m)
+	if len(plan.Blocks) <= 4 {
+		t.Skip("need overflow for this test")
+	}
+	mapped, err := Map(plan, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mapped.BlocksAssigned(512); got > 4 {
+		t.Errorf("512-class over capacity: %d", got)
+	}
+	// Conservation: resident blocks + spilled = plan blocked nnz.
+	resident := 0
+	for _, blocks := range mapped.Assigned {
+		for _, b := range blocks {
+			resident += b.NNZ()
+		}
+	}
+	if resident+mapped.SpilledNNZ != plan.Stats.BlockedNNZ {
+		t.Errorf("nnz not conserved: %d + %d != %d",
+			resident, mapped.SpilledNNZ, plan.Stats.BlockedNNZ)
+	}
+}
+
+func TestSlicesForBlock(t *testing.T) {
+	narrow := &blocking.Block{Size: 512, ExpMin: 0, ExpMax: 8}
+	wide := &blocking.Block{Size: 512, ExpMin: -30, ExpMax: 34}
+	sn, sw := SlicesForBlock(narrow), SlicesForBlock(wide)
+	if sn >= sw {
+		t.Errorf("wider operands should need more slices: %d vs %d", sn, sw)
+	}
+	if sn < 54 || sw > 127 {
+		t.Errorf("slices out of range: %d %d", sn, sw)
+	}
+}
+
+func TestPerformanceModelShape(t *testing.T) {
+	m := blockDiagMatrix(4096, 256, 0.1, 3)
+	plan := mustPlan(t, m)
+	sys := NewSystem()
+	mapped, err := Map(plan, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spmv := mapped.SpMVTime()
+	if spmv <= 0 || spmv > 1e-3 {
+		t.Errorf("SpMV time %g implausible", spmv)
+	}
+	if mapped.DotTime() <= 0 || mapped.AxpyTime() <= 0 {
+		t.Error("vector kernel times must be positive")
+	}
+	cg := mapped.IterationTime(false)
+	bicg := mapped.IterationTime(true)
+	if bicg <= cg {
+		t.Error("BiCG-STAB iteration must exceed CG")
+	}
+	if e := mapped.SpMVEnergy(); e <= 0 {
+		t.Error("SpMV energy must be positive")
+	}
+	if mapped.IterationEnergy(true) <= mapped.IterationEnergy(false) {
+		t.Error("BiCG-STAB energy must exceed CG")
+	}
+	if w := mapped.WriteTime(); w <= 0 || w > 1e-3 {
+		t.Errorf("write time %g", w)
+	}
+	if mapped.WriteEnergy() <= 0 || mapped.CellWritesPerSolve() <= 0 {
+		t.Error("write accounting missing")
+	}
+}
+
+func TestEvaluateDecision(t *testing.T) {
+	sys := NewSystem()
+	// Well-blocked matrix: runs on the accelerator with a speedup.
+	spec, _ := matgen.ByName("torso2")
+	m := spec.GenerateScaled(0.2)
+	ev, err := Evaluate("torso2", m, true, 1000, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Target != OnAccelerator {
+		t.Errorf("torso2 fell back to GPU (blocked %.2f)", ev.Blocked)
+	}
+	if ev.Speedup() <= 1 {
+		t.Errorf("torso2 speedup %.2f", ev.Speedup())
+	}
+	if ev.EnergyRatio() >= 1 {
+		t.Errorf("torso2 energy ratio %.2f", ev.EnergyRatio())
+	}
+
+	// Unblockable matrix: GPU fallback with a small probe loss (§VIII-A).
+	spec2, _ := matgen.ByName("thermomech_TC")
+	m2 := spec2.GenerateScaled(0.3)
+	ev2, err := Evaluate("thermomech_TC", m2, false, 1000, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev2.Target != OnGPU {
+		t.Errorf("thermomech_TC should fall back (blocked %.3f)", ev2.Blocked)
+	}
+	if s := ev2.Speedup(); s < 0.9 || s >= 1.0 {
+		t.Errorf("fallback speedup %.3f, paper: ≈0.97 (≤3%% loss)", s)
+	}
+}
+
+func TestInitOverheadAmortizes(t *testing.T) {
+	sys := NewSystem()
+	spec, _ := matgen.ByName("qa8fm")
+	m := spec.GenerateScaled(0.2)
+	few, err := Evaluate("qa8fm", m, false, 50, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Evaluate("qa8fm", m, false, 5000, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.InitOverhead() >= few.InitOverhead() {
+		t.Errorf("overhead should fall with iterations: %g vs %g",
+			many.InitOverhead(), few.InitOverhead())
+	}
+	if many.InitOverhead() > 0.2 {
+		t.Errorf("overhead %.1f%% above the paper's 20%% bound", many.InitOverhead()*100)
+	}
+}
+
+func TestUnblockedDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 32768
+	m := sparse.NewCOO(n, n)
+	for k := 0; k < n*8; k++ {
+		m.Add(rng.Intn(n), rng.Intn(n), 1.0)
+	}
+	m.Compact()
+	plan := mustPlan(t, m.ToCSR())
+	sys := NewSystem()
+	mapped, err := Map(plan, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapped.UnblockedNNZ != plan.Unblocked.NNZ()+mapped.SpilledNNZ {
+		t.Error("unblocked accounting wrong")
+	}
+	perBank := float64(mapped.UnblockedNNZ) / float64(sys.Cfg.Banks)
+	if got := float64(mapped.MaxBankUnblocked); got < perBank || got > perBank*1.5 {
+		t.Errorf("max bank load %g vs mean %g", got, perBank)
+	}
+	// Uniform (i,j) over n rows: P(|i−j| > w) = (1 − w/n)² ≈ 0.77 here.
+	if mapped.UnblockedScatter < 0.6 {
+		t.Errorf("uniform scatter fraction %.2f", mapped.UnblockedScatter)
+	}
+}
+
+func TestEnergyBreakdownSums(t *testing.T) {
+	mapped := mappedFor(t, "qa8fm", 0.2)
+	eb := mapped.SpMVEnergyBreakdown()
+	total := mapped.SpMVEnergy()
+	if d := eb.Total() - total; d > 1e-15 || d < -1e-15 {
+		t.Errorf("breakdown %.6g != SpMVEnergy %.6g", eb.Total(), total)
+	}
+	for name, v := range map[string]float64{
+		"array": eb.Array, "adc": eb.ADC, "local": eb.Local,
+		"memory": eb.Memory, "static": eb.Static,
+	} {
+		if v < 0 {
+			t.Errorf("%s component negative: %g", name, v)
+		}
+	}
+	if eb.Array == 0 || eb.ADC == 0 || eb.Static == 0 {
+		t.Error("expected nonzero array/ADC/static components")
+	}
+}

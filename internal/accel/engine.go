@@ -1,0 +1,123 @@
+package accel
+
+import (
+	"fmt"
+
+	"memsci/internal/blocking"
+	"memsci/internal/core"
+)
+
+// Engine is the functional (bit-exact) accelerator: every accepted block
+// runs through a core.Cluster — bias, AN code, CIC, bit slicing,
+// reduction, early termination, optional device-error injection — and the
+// unblocked remainder runs on the (IEEE double) local-processor path.
+// It implements solver.Operator, so the paper's solvers run unmodified
+// on it (§VII-C: the accelerator converges in the same number of
+// iterations as the GPU because both compute at the same precision).
+type Engine struct {
+	plan     *blocking.Plan
+	clusters []*engineBlock
+	cfg      core.ClusterConfig
+}
+
+type engineBlock struct {
+	cluster        *core.Cluster
+	rowOff, colOff int
+	rows, cols     int // clipped extent at matrix edges
+}
+
+// NewEngine programs a preprocessing plan into functional clusters.
+// seedBase offsets the per-cluster device-error seeds so Monte-Carlo
+// trials differ only in their sampled errors.
+func NewEngine(plan *blocking.Plan, cfg core.ClusterConfig, seedBase int64) (*Engine, error) {
+	e := &Engine{plan: plan, cfg: cfg}
+	for idx, b := range plan.Blocks {
+		rows, cols := b.Size, b.Size
+		if b.RowOff+rows > plan.Rows {
+			rows = plan.Rows - b.RowOff
+		}
+		if b.ColOff+cols > plan.Cols {
+			cols = plan.Cols - b.ColOff
+		}
+		blk, err := core.NewBlock(rows, cols, clipCoefs(b, rows, cols), core.MaxPadBits)
+		if err != nil {
+			return nil, fmt.Errorf("accel: block at (%d,%d): %w", b.RowOff, b.ColOff, err)
+		}
+		c := cfg
+		c.Seed = seedBase + int64(idx)*7919
+		cl, err := core.NewCluster(blk, c)
+		if err != nil {
+			return nil, err
+		}
+		e.clusters = append(e.clusters, &engineBlock{
+			cluster: cl, rowOff: b.RowOff, colOff: b.ColOff, rows: rows, cols: cols,
+		})
+	}
+	return e, nil
+}
+
+func clipCoefs(b *blocking.Block, rows, cols int) []core.Coef {
+	cs := make([]core.Coef, 0, len(b.Entries))
+	for _, en := range b.Entries {
+		r, c := int(en.Row)-b.RowOff, int(en.Col)-b.ColOff
+		if r >= rows || c >= cols {
+			continue // cannot happen: entries come from inside the matrix
+		}
+		cs = append(cs, core.Coef{Row: r, Col: c, Val: en.Val})
+	}
+	return cs
+}
+
+// Rows returns the operator's row count.
+func (e *Engine) Rows() int { return e.plan.Rows }
+
+// Cols returns the operator's column count.
+func (e *Engine) Cols() int { return e.plan.Cols }
+
+// Apply computes y = A·x through the hardware pipeline: each cluster's
+// exact block dot products are accumulated into the partial-result
+// stream in IEEE double by the local processor, together with the
+// unblocked CSR remainder.
+func (e *Engine) Apply(y, x []float64) {
+	if len(x) != e.plan.Cols || len(y) != e.plan.Rows {
+		panic(fmt.Sprintf("accel: Apply dims y[%d], x[%d] vs %dx%d", len(y), len(x), e.plan.Rows, e.plan.Cols))
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for _, eb := range e.clusters {
+		seg := x[eb.colOff : eb.colOff+eb.cols]
+		out, err := eb.cluster.MulVec(seg)
+		if err != nil {
+			panic(fmt.Sprintf("accel: cluster MulVec: %v", err))
+		}
+		dst := y[eb.rowOff : eb.rowOff+eb.rows]
+		for i, v := range out {
+			dst[i] += v
+		}
+	}
+	e.plan.Unblocked.MulVecAdd(y, x)
+}
+
+// Stats aggregates the compute statistics over all clusters.
+func (e *Engine) Stats() core.ComputeStats {
+	var agg core.ComputeStats
+	for _, eb := range e.clusters {
+		st := eb.cluster.Stats()
+		agg.Ops += st.Ops
+		agg.VectorSlicesApplied += st.VectorSlicesApplied
+		agg.VectorSlicesTotal += st.VectorSlicesTotal
+		agg.Conversions += st.Conversions
+		agg.ConversionsSkipped += st.ConversionsSkipped
+		agg.ConversionBits += st.ConversionBits
+		agg.CrossbarActivations += st.CrossbarActivations
+		agg.AN.OK += st.AN.OK
+		agg.AN.Corrected += st.AN.Corrected
+		agg.AN.Ambiguous += st.AN.Ambiguous
+		agg.AN.Uncorrectable += st.AN.Uncorrectable
+	}
+	return agg
+}
+
+// Clusters returns the number of programmed clusters.
+func (e *Engine) Clusters() int { return len(e.clusters) }

@@ -1,0 +1,175 @@
+package accel
+
+import (
+	"memsci/internal/blocking"
+	"memsci/internal/gpu"
+	"memsci/internal/sparse"
+)
+
+// FallbackBlockingThreshold is the minimum blocking efficiency for a
+// matrix to run on the accelerator (§VIII-A): below it, the majority of
+// the work would land on the local processors, which the preprocessing
+// output reveals immediately.
+const FallbackBlockingThreshold = 0.25
+
+// scatterFraction is the fraction of nonzeros with |i−j| beyond a cache
+// window, the gather-locality statistic the GPU SpMV model consumes.
+func scatterFraction(m *sparse.CSR, window int) float64 {
+	if m.NNZ() == 0 {
+		return 0
+	}
+	far := 0
+	for i := 0; i < m.Rows(); i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			d := m.ColIdx[k] - i
+			if d < 0 {
+				d = -d
+			}
+			if d > window {
+				far++
+			}
+		}
+	}
+	return float64(far) / float64(m.NNZ())
+}
+
+// Target identifies which device executes a matrix after the
+// preprocessing probe (§VIII-A: the accelerator co-exists with a GPU and
+// the choice is made from the preprocessing output).
+type Target int
+
+const (
+	// OnAccelerator runs the solve on the memristive accelerator.
+	OnAccelerator Target = iota
+	// OnGPU falls back to the GPU (rare, poorly-blocking matrices);
+	// the preprocessing probe cost is still paid.
+	OnGPU
+)
+
+func (t Target) String() string {
+	if t == OnGPU {
+		return "gpu"
+	}
+	return "accelerator"
+}
+
+// Evaluation is the per-matrix comparison backing Figures 8-10.
+type Evaluation struct {
+	Name string
+
+	Shape    gpu.MatrixShape
+	BiCGSTAB bool
+	Iters    int
+
+	Blocked float64 // blocking efficiency
+	Plan    *blocking.Plan
+	Mapped  *Mapped
+	Target  Target
+
+	// Per-iteration model outputs.
+	GPUIterTime     float64
+	AccelIterTime   float64
+	GPUIterEnergy   float64
+	AccelIterEnergy float64
+
+	// One-time costs on the accelerator path.
+	PreprocessTime float64 // §VII-B: equivalent of 4 baseline MVMs
+	WriteTime      float64
+	WriteEnergy    float64
+
+	// Totals over the full solve (chosen target, §VIII-A decision).
+	GPUSolveTime   float64
+	SolveTime      float64
+	SolveEnergy    float64
+	GPUSolveEnergy float64
+}
+
+// Speedup is the Fig. 8 quantity: baseline GPU solve time over the
+// chosen-target solve time (including preprocessing and write overhead).
+func (e *Evaluation) Speedup() float64 {
+	if e.SolveTime == 0 {
+		return 0
+	}
+	return e.GPUSolveTime / e.SolveTime
+}
+
+// EnergyRatio is the Fig. 9 quantity: chosen-target energy normalized to
+// the GPU baseline (< 1 is better).
+func (e *Evaluation) EnergyRatio() float64 {
+	if e.GPUSolveEnergy == 0 {
+		return 0
+	}
+	return e.SolveEnergy / e.GPUSolveEnergy
+}
+
+// InitOverhead is the Fig. 10 quantity: preprocessing plus write time as
+// a fraction of the total accelerator solve time.
+func (e *Evaluation) InitOverhead() float64 {
+	if e.SolveTime == 0 {
+		return 0
+	}
+	return (e.PreprocessTime + e.WriteTime) / e.SolveTime
+}
+
+// Evaluate runs the full per-matrix model: preprocess, map, model both
+// systems, and apply the accelerator-vs-GPU decision.
+func Evaluate(name string, m *sparse.CSR, bicgstab bool, iters int, sys *System) (*Evaluation, error) {
+	plan, err := blocking.Preprocess(m, blocking.DefaultSubstrate())
+	if err != nil {
+		return nil, err
+	}
+	return EvaluatePlan(name, m, plan, bicgstab, iters, sys)
+}
+
+// EvaluatePlan is Evaluate for an existing preprocessing plan.
+func EvaluatePlan(name string, m *sparse.CSR, plan *blocking.Plan, bicgstab bool, iters int, sys *System) (*Evaluation, error) {
+	mapped, err := Map(plan, sys)
+	if err != nil {
+		return nil, err
+	}
+	shape := gpu.MatrixShape{
+		Rows: m.Rows(), Cols: m.Cols(), NNZ: m.NNZ(),
+		Bandwidth: m.Bandwidth(), ScatterFrac: scatterFraction(m, 4096),
+	}
+	ev := &Evaluation{
+		Name:     name,
+		Shape:    shape,
+		BiCGSTAB: bicgstab,
+		Iters:    iters,
+		Blocked:  plan.Stats.Efficiency(),
+		Plan:     plan,
+		Mapped:   mapped,
+	}
+	ev.GPUIterTime = sys.GPU.IterationTime(shape, bicgstab)
+	ev.AccelIterTime = mapped.IterationTime(bicgstab)
+	ev.GPUIterEnergy = sys.GPU.Energy(ev.GPUIterTime)
+	ev.AccelIterEnergy = mapped.IterationEnergy(bicgstab)
+
+	// Preprocessing is conservatively 4 baseline MVMs (§VII-B); its
+	// complexity in passes is tracked by the plan itself.
+	ev.PreprocessTime = 4 * sys.GPU.SpMVTime(shape)
+	ev.WriteTime = mapped.WriteTime()
+	ev.WriteEnergy = mapped.WriteEnergy()
+
+	ev.GPUSolveTime = float64(iters) * ev.GPUIterTime
+	ev.GPUSolveEnergy = float64(iters) * ev.GPUIterEnergy
+
+	accelSolve := ev.PreprocessTime + ev.WriteTime + float64(iters)*ev.AccelIterTime
+	accelEnergy := sys.GPU.Energy(ev.PreprocessTime) + ev.WriteEnergy + float64(iters)*ev.AccelIterEnergy
+
+	// Decision (§VIII-A): made "quickly, based on the output of the
+	// preprocessing step" — a matrix whose nonzeros do not block does not
+	// fit the in-situ execution model and runs on the GPU; the probe cost
+	// is still paid (≈3% loss on the two unblockable matrices). A time
+	// comparison backstops the structural rule.
+	if ev.Blocked >= FallbackBlockingThreshold && accelSolve <= ev.GPUSolveTime+ev.PreprocessTime {
+		ev.Target = OnAccelerator
+		ev.SolveTime = accelSolve
+		ev.SolveEnergy = accelEnergy
+	} else {
+		ev.Target = OnGPU
+		ev.SolveTime = ev.PreprocessTime + ev.GPUSolveTime
+		ev.SolveEnergy = sys.GPU.Energy(ev.PreprocessTime) + ev.GPUSolveEnergy
+	}
+	return ev, nil
+}

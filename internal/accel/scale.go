@@ -1,0 +1,88 @@
+package accel
+
+// Multi-accelerator scaling (§VI: "On problems that are too large for a
+// single accelerator, the MVM can be split in a manner analogous to the
+// partitioning on GPUs: each accelerator handles a portion of the MVM,
+// and the accelerators synchronize between iterations") and the
+// time-stepped re-programming amortization of §VIII-D.
+
+// MultiIterationTime models K accelerators splitting the MVM by row
+// ranges: each runs its share of the blocks concurrently; an
+// inter-accelerator synchronization (vector exchange through host memory)
+// closes every iteration.
+func (m *Mapped) MultiIterationTime(k int, bicgstab bool, interSync float64) float64 {
+	if k <= 1 {
+		return m.IterationTime(bicgstab)
+	}
+	// Each accelerator holds ~1/k of the blocks: the crossbar phase is
+	// unchanged in latency (all clusters ran in parallel already), but
+	// the per-bank unblocked work and orchestration shrink by k.
+	cfg := m.Sys.Cfg
+	var xbar float64
+	for size, blocks := range m.Assigned {
+		if len(blocks) == 0 {
+			continue
+		}
+		worst := 0
+		for _, b := range blocks {
+			if s := SlicesForBlock(b); s > worst {
+				worst = s
+			}
+		}
+		if t := float64(worst) * cfg.ClusterOpLatency(size); t > xbar {
+			xbar = t
+		}
+	}
+	orchestration := float64(m.TotalBlocks()) / float64(k) / float64(cfg.Banks) * blockOverheadCycles / cfg.ClockHz
+	local := cfg.LocalNNZTime(m.MaxBankUnblocked/k, m.UnblockedScatter) + orchestration
+	spmv := xbar
+	if local > spmv {
+		spmv = local
+	}
+	spmv += cfg.BarrierTime + interSync
+
+	if bicgstab {
+		return 2*spmv + 5*m.DotTime() + 6*m.AxpyTime() + float64(0)
+	}
+	return spmv + 3*m.DotTime() + 3*m.AxpyTime()
+}
+
+// IncrementalWriteTime models the §VIII-D time-stepped workload: between
+// time steps "only a subset of non-zeros change each step, and the matrix
+// structure is typically preserved, requiring minimal re-processing".
+// Only the rows holding changed cells rewrite (row-parallel programming),
+// so the cost scales with the changed fraction.
+func (m *Mapped) IncrementalWriteTime(changedFraction float64) float64 {
+	if changedFraction <= 0 {
+		return 0
+	}
+	if changedFraction >= 1 {
+		return m.WriteTime()
+	}
+	cfg := m.Sys.Cfg
+	var t float64
+	for size, blocks := range m.Assigned {
+		if len(blocks) == 0 {
+			continue
+		}
+		rows := float64(size) * changedFraction
+		if rows < 1 {
+			rows = 1
+		}
+		if w := rows * cfg.CellWriteTime; w > t {
+			t = w
+		}
+	}
+	return t
+}
+
+// IncrementalWriteEnergy scales programming energy by the changed cells.
+func (m *Mapped) IncrementalWriteEnergy(changedFraction float64) float64 {
+	if changedFraction <= 0 {
+		return 0
+	}
+	if changedFraction > 1 {
+		changedFraction = 1
+	}
+	return m.WriteEnergy() * changedFraction
+}

@@ -1,0 +1,77 @@
+package accel
+
+import (
+	"testing"
+
+	"memsci/internal/matgen"
+)
+
+func mappedFor(t *testing.T, name string, scale float64) *Mapped {
+	t.Helper()
+	spec, err := matgen.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := spec.GenerateScaled(scale)
+	plan := mustPlan(t, m)
+	mapped, err := Map(plan, NewSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mapped
+}
+
+func TestMultiAcceleratorScaling(t *testing.T) {
+	// ns3Da is local-processor bound (nearly everything unblocked), the
+	// case where splitting the MVM across accelerators pays (§VI).
+	mapped := mappedFor(t, "ns3Da", 0.5)
+	single := mapped.IterationTime(true)
+	sync := 5e-6
+	two := mapped.MultiIterationTime(2, true, sync)
+	eight := mapped.MultiIterationTime(8, true, sync)
+	if two >= single {
+		t.Errorf("k=2 (%.3g) did not improve on single (%.3g)", two, single)
+	}
+	if eight > two {
+		t.Errorf("k=8 (%.3g) worse than k=2 (%.3g)", eight, two)
+	}
+	// k=1 must equal the single-accelerator model.
+	if got := mapped.MultiIterationTime(1, true, sync); got != single {
+		t.Errorf("k=1 mismatch: %g vs %g", got, single)
+	}
+}
+
+func TestMultiAcceleratorSyncFloor(t *testing.T) {
+	mapped := mappedFor(t, "torso2", 0.15) // crossbar-bound matrix
+	// With a crossbar-bound matrix, scaling out cannot beat the
+	// single-cluster latency floor plus the added sync.
+	single := mapped.IterationTime(true)
+	multi := mapped.MultiIterationTime(8, true, 50e-6)
+	if multi < single {
+		t.Errorf("crossbar-bound matrix should not benefit: %g vs %g", multi, single)
+	}
+}
+
+func TestIncrementalWrite(t *testing.T) {
+	mapped := mappedFor(t, "qa8fm", 0.2)
+	full := mapped.WriteTime()
+	if got := mapped.IncrementalWriteTime(1); got != full {
+		t.Errorf("full fraction: %g vs %g", got, full)
+	}
+	if got := mapped.IncrementalWriteTime(0); got != 0 {
+		t.Errorf("zero fraction: %g", got)
+	}
+	tenth := mapped.IncrementalWriteTime(0.1)
+	if tenth <= 0 || tenth >= full {
+		t.Errorf("10%% update: %g (full %g)", tenth, full)
+	}
+	// Energy scales linearly.
+	if e := mapped.IncrementalWriteEnergy(0.25); e != 0.25*mapped.WriteEnergy() {
+		t.Errorf("energy scaling: %g", e)
+	}
+	// §VIII-D: a time-stepped simulation re-programming 5% per step pays
+	// far less than the already-amortized initial write.
+	if mapped.IncrementalWriteTime(0.05) > full/10 {
+		t.Errorf("5%% update not cheap: %g vs %g", mapped.IncrementalWriteTime(0.05), full)
+	}
+}

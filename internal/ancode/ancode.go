@@ -1,0 +1,223 @@
+// Package ancode implements the AN arithmetic error-correcting code used
+// to protect crossbar operands (§IV-E of the paper, adopting Feinberg et
+// al., HPCA 2018). An operand u is stored as v = A·u with A = 251; any
+// valid dot product of coded operands is therefore divisible by A, and a
+// nonzero residue v mod A is a syndrome identifying an arithmetic error of
+// the form ±c·2^k (a column-count deviation of magnitude c at bit plane
+// k). A = 251 adds eight bits for correction and one for detection,
+// expanding the 118-bit fixed-point operand to at most 127 bits.
+//
+// Because ord_251(2) = 50 (2^25 ≡ −1 mod 251), syndromes for single-count
+// errors repeat every 50 bit positions; decoding therefore enumerates all
+// candidate positions, discards candidates that push the corrected value
+// outside the caller-supplied valid range, and reports ambiguity when more
+// than one candidate survives. This matches the paper's >99.99% (rather
+// than 100%) correction accuracy.
+package ancode
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// A is the code constant from the paper.
+const A = 251
+
+var bigA = big.NewInt(A)
+
+// CheckBits is the operand expansion in bits: ⌈log2(251)⌉ = 8 for
+// correction plus 1 for detection, as stated in §IV-E.
+const CheckBits = 9
+
+// Encode returns A·u. u must be non-negative.
+func Encode(u *big.Int) *big.Int {
+	if u.Sign() < 0 {
+		panic("ancode: Encode of negative operand")
+	}
+	return new(big.Int).Mul(u, bigA)
+}
+
+// Residue returns v mod A (the syndrome; 0 means no detected error).
+func Residue(v *big.Int) int {
+	m := new(big.Int).Mod(v, bigA)
+	return int(m.Int64())
+}
+
+// Decode divides an error-free codeword by A. It returns an error if the
+// residue is nonzero; use Correct for error recovery.
+func Decode(v *big.Int) (*big.Int, error) {
+	q, r := new(big.Int).QuoRem(new(big.Int).Set(v), bigA, new(big.Int))
+	if r.Sign() != 0 {
+		return nil, fmt.Errorf("ancode: nonzero residue %d", r.Int64())
+	}
+	return q, nil
+}
+
+// Outcome classifies a Correct attempt.
+type Outcome int
+
+const (
+	// OK means the codeword was valid (zero syndrome).
+	OK Outcome = iota
+	// Corrected means a unique single-error candidate was found and applied.
+	Corrected
+	// Ambiguous means multiple candidates survived range filtering; the
+	// smallest-position candidate was applied (may be a miscorrection).
+	Ambiguous
+	// Uncorrectable means no single-error candidate matched the syndrome
+	// within the operand width and range; the value was decoded by
+	// truncating the residue (detection without correction).
+	Uncorrectable
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Ambiguous:
+		return "ambiguous"
+	case Uncorrectable:
+		return "uncorrectable"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Stats accumulates correction outcomes across many decodes.
+type Stats struct {
+	OK            uint64
+	Corrected     uint64
+	Ambiguous     uint64
+	Uncorrectable uint64
+}
+
+// Add merges another stats block.
+func (s *Stats) Add(o Outcome) {
+	switch o {
+	case OK:
+		s.OK++
+	case Corrected:
+		s.Corrected++
+	case Ambiguous:
+		s.Ambiguous++
+	case Uncorrectable:
+		s.Uncorrectable++
+	}
+}
+
+// Total returns the number of decodes recorded.
+func (s *Stats) Total() uint64 { return s.OK + s.Corrected + s.Ambiguous + s.Uncorrectable }
+
+// Accuracy returns the fraction of decodes with a certain outcome
+// (OK or uniquely Corrected).
+func (s *Stats) Accuracy() float64 {
+	t := s.Total()
+	if t == 0 {
+		return 1
+	}
+	return float64(s.OK+s.Corrected) / float64(t)
+}
+
+// pow2ModA[k] = 2^k mod A for k in [0, ord); ord_251(2) = 50.
+var pow2ModA [50]int
+
+func init() {
+	v := 1
+	for k := range pow2ModA {
+		pow2ModA[k] = v
+		v = (v * 2) % A
+	}
+}
+
+// Ord is the multiplicative order of 2 modulo A.
+const Ord = 50
+
+// Corrector corrects single ±c·2^k arithmetic errors in codewords whose
+// error-free decoded value is known to lie in a caller-supplied range.
+// MaxBits bounds the candidate bit positions (the operand width plus the
+// bits added by current summation), and MaxCount bounds the error
+// magnitude c considered (1 covers single cell/count errors).
+type Corrector struct {
+	MaxBits  int
+	MaxCount int
+	// table[r] lists (sign, c, kmod) triples with
+	// sign·c·2^kmod ≡ r (mod A).
+	table map[int][]candidate
+}
+
+type candidate struct {
+	sign  int
+	count int
+	kmod  int
+}
+
+// NewCorrector builds a corrector for candidate positions k < maxBits and
+// count magnitudes up to maxCount.
+func NewCorrector(maxBits, maxCount int) *Corrector {
+	if maxCount < 1 {
+		maxCount = 1
+	}
+	c := &Corrector{
+		MaxBits:  maxBits,
+		MaxCount: maxCount,
+		table:    make(map[int][]candidate),
+	}
+	for cnt := 1; cnt <= maxCount; cnt++ {
+		for k := 0; k < Ord; k++ {
+			for _, sign := range []int{1, -1} {
+				r := (sign * cnt % A) * pow2ModA[k] % A
+				r = ((r % A) + A) % A
+				if r == 0 {
+					continue
+				}
+				c.table[r] = append(c.table[r], candidate{sign: sign, count: cnt, kmod: k})
+			}
+		}
+	}
+	return c
+}
+
+// Correct attempts to recover the decoded operand from a possibly
+// corrupted codeword v, given that the error-free decoded value lies in
+// [min, max] (inclusive). It returns the decoded value (v_corrected / A)
+// and the outcome classification.
+func (c *Corrector) Correct(v, min, max *big.Int) (*big.Int, Outcome) {
+	r := Residue(v)
+	if r == 0 {
+		q, _ := Decode(v)
+		return q, OK
+	}
+	var matches []*big.Int
+	for _, cand := range c.table[r] {
+		for k := cand.kmod; k < c.MaxBits; k += Ord {
+			// error e = sign·count·2^k; corrected codeword = v − e.
+			e := new(big.Int).Lsh(big.NewInt(int64(cand.count)), uint(k))
+			if cand.sign < 0 {
+				e.Neg(e)
+			}
+			fixed := new(big.Int).Sub(v, e)
+			q, rem := new(big.Int).QuoRem(fixed, bigA, new(big.Int))
+			if rem.Sign() != 0 {
+				continue // shouldn't happen; syndrome math guarantees divisibility
+			}
+			if q.Cmp(min) < 0 || q.Cmp(max) > 0 {
+				continue
+			}
+			matches = append(matches, q)
+		}
+	}
+	switch len(matches) {
+	case 0:
+		// Detection only: return the floor decode so callers can proceed,
+		// flagged uncorrectable.
+		q := new(big.Int).Div(v, bigA)
+		return q, Uncorrectable
+	case 1:
+		return matches[0], Corrected
+	default:
+		// All candidates are arithmetically consistent; pick the one from
+		// the lowest bit position (first generated) and flag ambiguity.
+		return matches[0], Ambiguous
+	}
+}

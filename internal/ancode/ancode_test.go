@@ -1,0 +1,221 @@
+package ancode
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(u64 uint64) bool {
+		u := new(big.Int).SetUint64(u64)
+		v := Encode(u)
+		d, err := Decode(v)
+		return err == nil && d.Cmp(u) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Encode(big.NewInt(-1))
+}
+
+func TestResidueZeroForCodewords(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		u := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), 118))
+		if Residue(Encode(u)) != 0 {
+			t.Fatalf("codeword has nonzero residue")
+		}
+	}
+}
+
+func TestDecodeDetectsCorruption(t *testing.T) {
+	u := big.NewInt(123456789)
+	v := Encode(u)
+	v.Add(v, big.NewInt(1))
+	if _, err := Decode(v); err == nil {
+		t.Error("corruption not detected")
+	}
+}
+
+func TestOrdOfTwo(t *testing.T) {
+	// 2^50 ≡ 1 (mod 251) and no smaller positive power is 1.
+	v := 1
+	for k := 1; k <= Ord; k++ {
+		v = v * 2 % A
+		if v == 1 && k != Ord {
+			t.Fatalf("ord(2) = %d, not %d", k, Ord)
+		}
+	}
+	if v != 1 {
+		t.Fatalf("2^%d mod %d = %d", Ord, A, v)
+	}
+}
+
+// TestCorrectorSingleBitErrors: every single ±2^k error within the first
+// Ord positions is uniquely correctable; beyond that, corrections remain
+// value-correct whenever range filtering disambiguates.
+func TestCorrectorSingleBitErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	maxBits := 130
+	c := NewCorrector(maxBits, 1)
+	max := new(big.Int).Lsh(big.NewInt(1), 120)
+	zero := new(big.Int)
+	for trial := 0; trial < 200; trial++ {
+		u := new(big.Int).Rand(rng, max)
+		v := Encode(u)
+		k := rng.Intn(v.BitLen() + 2)
+		e := new(big.Int).Lsh(big.NewInt(1), uint(k))
+		corrupted := new(big.Int).Set(v)
+		if rng.Intn(2) == 0 {
+			corrupted.Add(corrupted, e)
+		} else {
+			corrupted.Sub(corrupted, e)
+			if corrupted.Sign() < 0 {
+				corrupted.Add(corrupted, new(big.Int).Lsh(e, 1))
+			}
+		}
+		got, out := c.Correct(corrupted, zero, max)
+		switch out {
+		case OK:
+			t.Fatalf("corruption at bit %d not detected", k)
+		case Corrected:
+			if got.Cmp(u) != 0 {
+				t.Fatalf("unique correction wrong: bit %d", k)
+			}
+		case Ambiguous:
+			// Allowed: positions ≥ Ord alias; the corrector may pick a
+			// wrong candidate, which the paper accepts (<100% accuracy).
+		case Uncorrectable:
+			t.Fatalf("single error at bit %d uncorrectable", k)
+		}
+	}
+}
+
+// Single errors are never silent, and unique corrections are always
+// value-correct. (Even low-bit errors can alias through the sign
+// relation 2^25 ≡ −1 mod 251, so ambiguity — not wrong unique decoding —
+// is the worst legitimate outcome.)
+func TestCorrectorLowBitsNeverSilentOrWrong(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := NewCorrector(70, 1)
+	zero := new(big.Int)
+	uniqueRight, ambiguous := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		u := new(big.Int).SetUint64(rng.Uint64() >> 16) // 48-bit operand
+		max := new(big.Int).Lsh(big.NewInt(1), 49)
+		v := Encode(u)
+		k := rng.Intn(50)
+		e := new(big.Int).Lsh(big.NewInt(1), uint(k))
+		corrupted := new(big.Int).Add(v, e)
+		got, out := c.Correct(corrupted, zero, max)
+		switch out {
+		case OK:
+			t.Fatalf("bit %d: silent corruption", k)
+		case Uncorrectable:
+			t.Fatalf("bit %d: uncorrectable single error", k)
+		case Corrected:
+			if got.Cmp(u) != 0 {
+				t.Fatalf("bit %d: unique correction wrong", k)
+			}
+			uniqueRight++
+		case Ambiguous:
+			ambiguous++
+			if got.Cmp(u) == 0 {
+				uniqueRight++ // lowest-position pick happened to be right
+			}
+		}
+	}
+	// With a wide valid range most syndromes stay ambiguous (the range
+	// filter cannot prune the sign-aliased candidate); the low-position
+	// tie-break still restores the true value for roughly the half of
+	// positions whose alias sits higher.
+	if uniqueRight < 100 { // 300 trials
+		t.Errorf("value-correct outcomes %d/300 too few (ambiguous %d)", uniqueRight, ambiguous)
+	}
+}
+
+func TestCorrectorCleanCodeword(t *testing.T) {
+	c := NewCorrector(130, 1)
+	u := big.NewInt(42)
+	got, out := c.Correct(Encode(u), new(big.Int), big.NewInt(100))
+	if out != OK || got.Cmp(u) != 0 {
+		t.Errorf("clean codeword: %v %v", got, out)
+	}
+}
+
+func TestCorrectorDoubleErrorRarelySilent(t *testing.T) {
+	// Two simultaneous errors are silent only when their syndromes cancel
+	// (2^k1 ≡ −2^k2 mod 251, probability ≈ 1/50 for random positions);
+	// the silent rate must stay near that bound.
+	rng := rand.New(rand.NewSource(11))
+	c := NewCorrector(130, 1)
+	zero := new(big.Int)
+	max := new(big.Int).Lsh(big.NewInt(1), 121)
+	silent := 0
+	for trial := 0; trial < 200; trial++ {
+		u := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), 118))
+		v := Encode(u)
+		k1, k2 := rng.Intn(100), rng.Intn(100)
+		if k1 == k2 {
+			continue
+		}
+		v.Add(v, new(big.Int).Lsh(big.NewInt(1), uint(k1)))
+		v.Add(v, new(big.Int).Lsh(big.NewInt(1), uint(k2)))
+		_, out := c.Correct(v, zero, max)
+		if out == OK {
+			silent++
+		}
+	}
+	if silent > 20 { // ≈10%: well above the ~2% aliasing rate means a bug
+		t.Errorf("%d/200 double errors decoded as valid", silent)
+	}
+}
+
+func TestStats(t *testing.T) {
+	var s Stats
+	s.Add(OK)
+	s.Add(OK)
+	s.Add(Corrected)
+	s.Add(Ambiguous)
+	s.Add(Uncorrectable)
+	if s.Total() != 5 {
+		t.Errorf("Total = %d", s.Total())
+	}
+	if acc := s.Accuracy(); acc != 0.6 {
+		t.Errorf("Accuracy = %g", acc)
+	}
+	var empty Stats
+	if empty.Accuracy() != 1 {
+		t.Errorf("empty accuracy = %g", empty.Accuracy())
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for o, want := range map[Outcome]string{
+		OK: "ok", Corrected: "corrected", Ambiguous: "ambiguous",
+		Uncorrectable: "uncorrectable",
+	} {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q", int(o), o.String())
+		}
+	}
+}
+
+func TestCheckBitsMatchesPaper(t *testing.T) {
+	// §IV-E: 118-bit operand + 9 bits = up to 127-bit codeword.
+	maxOperand := new(big.Int).Lsh(big.NewInt(1), 118)
+	maxOperand.Sub(maxOperand, big.NewInt(1))
+	if got := Encode(maxOperand).BitLen(); got > 118+CheckBits-1 {
+		t.Errorf("codeword width %d exceeds %d", got, 118+CheckBits-1)
+	}
+}

@@ -1,0 +1,340 @@
+// Package blocking implements the preprocessing step of §V-B1: mapping
+// the dense sub-blocks of a sparse matrix onto the heterogeneous crossbar
+// substrate (512/256/128/64 clusters). For each block size, grid-aligned
+// candidate blocks are evaluated for nonzero count and exponent range;
+// candidates that clear a dimension-dependent threshold are accepted,
+// range-violating elements are evicted to the local processor, and
+// everything left over after the smallest size is stored in CSR form for
+// the local processor (§VI-A1).
+package blocking
+
+import (
+	"fmt"
+	"sort"
+
+	"memsci/internal/core"
+	"memsci/internal/sparse"
+)
+
+// Substrate describes the available cluster sizes (descending) and the
+// acceptance threshold for each.
+type Substrate struct {
+	// Sizes lists crossbar block sizes, largest first.
+	Sizes []int
+	// Threshold returns the minimum captured nonzeros for a candidate
+	// block of the given size to be worth a cluster.
+	Threshold func(size int) int
+	// MaxPad is the alignment-padding capacity (core.MaxPadBits for the
+	// 118-bit operands of the paper).
+	MaxPad int
+}
+
+// DefaultSubstrate returns the paper's heterogeneous substrate: block
+// sizes 512/256/128/64 (§V-B1) with a dimension-dependent acceptance
+// threshold of 3% captured density (0.03·s²). The density floor encodes
+// the §V-A efficiency argument both ways: a sparser candidate wastes the
+// crossbar's parallelism and ADC energy (better handled by a smaller
+// block or the local processor), while any candidate above it
+// outperforms the local processor on throughput per nonzero.
+func DefaultSubstrate() Substrate {
+	return Substrate{
+		Sizes:  []int{512, 256, 128, 64},
+		MaxPad: core.MaxPadBits,
+		Threshold: func(size int) int {
+			return int(0.03*float64(size)*float64(size)) + 1
+		},
+	}
+}
+
+// Entry is one nonzero with global coordinates, compactly stored.
+type Entry struct {
+	Row, Col int32
+	Val      float64
+}
+
+// Block is one accepted mapping of matrix nonzeros onto a cluster.
+type Block struct {
+	Size           int
+	RowOff, ColOff int // global offsets of the block's top-left corner
+	Entries        []Entry
+	ExpMin, ExpMax int // leading-digit exponent range of the entries
+}
+
+// NNZ returns the nonzeros captured by the block.
+func (b *Block) NNZ() int { return len(b.Entries) }
+
+// Density is the captured density d_block of §V-A.
+func (b *Block) Density() float64 {
+	return float64(len(b.Entries)) / float64(b.Size*b.Size)
+}
+
+// StoredBits is the biased operand width the block needs: 53 mantissa
+// bits + alignment padding + sign (§III-B).
+func (b *Block) StoredBits() int {
+	return core.MantissaBits + (b.ExpMax - b.ExpMin) + 1
+}
+
+// Split partitions the block into four half-size quadrant blocks
+// (dropping empty quadrants). The accelerator uses it when a size class
+// is over-subscribed: a block accepted at one size remains at least as
+// dense viewed at the next size down.
+func (b *Block) Split() []*Block {
+	half := b.Size / 2
+	quads := make([]*Block, 0, 4)
+	var parts [4][]Entry
+	for _, e := range b.Entries {
+		qi, qj := 0, 0
+		if int(e.Row)-b.RowOff >= half {
+			qi = 1
+		}
+		if int(e.Col)-b.ColOff >= half {
+			qj = 1
+		}
+		parts[qi*2+qj] = append(parts[qi*2+qj], e)
+	}
+	for q, entries := range parts {
+		if len(entries) == 0 {
+			continue
+		}
+		child := &Block{
+			Size:   half,
+			RowOff: b.RowOff + (q/2)*half,
+			ColOff: b.ColOff + (q%2)*half,
+		}
+		child.Entries = entries
+		child.ExpMin, child.ExpMax = entryExpRange(entries)
+		quads = append(quads, child)
+	}
+	return quads
+}
+
+func entryExpRange(entries []Entry) (min, max int) {
+	first := true
+	for _, e := range entries {
+		if e.Val == 0 {
+			continue
+		}
+		x := sparse.Exponent(e.Val)
+		if first {
+			min, max, first = x, x, false
+			continue
+		}
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return
+}
+
+// Coefs converts the block's entries to block-local core coefficients.
+func (b *Block) Coefs() []core.Coef {
+	cs := make([]core.Coef, len(b.Entries))
+	for i, e := range b.Entries {
+		cs[i] = core.Coef{Row: int(e.Row) - b.RowOff, Col: int(e.Col) - b.ColOff, Val: e.Val}
+	}
+	return cs
+}
+
+// SizeStats aggregates accepted blocks of one size.
+type SizeStats struct {
+	Blocks int
+	NNZ    int
+}
+
+// Stats summarizes a preprocessing run.
+type Stats struct {
+	TotalNNZ    int
+	BlockedNNZ  int
+	PerSize     map[int]SizeStats
+	ExcludedNNZ int // evicted for exceeding the exponent range
+	// Touches counts entry visits; Touches/TotalNNZ is the preprocessing
+	// complexity the paper bounds at 4 worst case, 1.8 average (§V-B1).
+	Touches int
+}
+
+// Efficiency returns the blocking efficiency (Table II "Blocked").
+func (s Stats) Efficiency() float64 {
+	if s.TotalNNZ == 0 {
+		return 0
+	}
+	return float64(s.BlockedNNZ) / float64(s.TotalNNZ)
+}
+
+// Passes returns the average number of times each nonzero was touched.
+func (s Stats) Passes() float64 {
+	if s.TotalNNZ == 0 {
+		return 0
+	}
+	return float64(s.Touches) / float64(s.TotalNNZ)
+}
+
+// Plan is the output of preprocessing: accepted blocks plus the CSR
+// remainder handled by the local processors.
+type Plan struct {
+	Rows, Cols int
+	Blocks     []*Block
+	Unblocked  *sparse.CSR
+	Stats      Stats
+}
+
+// Preprocess maps a matrix onto the substrate. The input is not modified.
+func Preprocess(m *sparse.CSR, sub Substrate) (*Plan, error) {
+	if len(sub.Sizes) == 0 {
+		return nil, fmt.Errorf("blocking: substrate has no sizes")
+	}
+	if err := m.CheckFinite(); err != nil {
+		return nil, err
+	}
+	sizes := append([]int(nil), sub.Sizes...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	maxPad := sub.MaxPad
+	if maxPad <= 0 {
+		maxPad = core.MaxPadBits
+	}
+
+	plan := &Plan{Rows: m.Rows(), Cols: m.Cols()}
+	plan.Stats.PerSize = make(map[int]SizeStats)
+	plan.Stats.TotalNNZ = m.NNZ()
+
+	// Working pool of unassigned entries.
+	pool := make([]Entry, 0, m.NNZ())
+	for i := 0; i < m.Rows(); i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			pool = append(pool, Entry{Row: int32(i), Col: int32(m.ColIdx[k]), Val: m.Vals[k]})
+		}
+	}
+	var excluded []Entry
+
+	for _, size := range sizes {
+		threshold := sub.Threshold(size)
+		// Group pool entries by grid-aligned candidate block.
+		type key struct{ bi, bj int32 }
+		cand := make(map[key][]Entry)
+		for _, e := range pool {
+			plan.Stats.Touches++
+			cand[key{e.Row / int32(size), e.Col / int32(size)}] = append(cand[key{e.Row / int32(size), e.Col / int32(size)}], e)
+		}
+		next := pool[:0]
+		// Deterministic iteration order for reproducible plans.
+		keys := make([]key, 0, len(cand))
+		for k := range cand {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a].bi != keys[b].bi {
+				return keys[a].bi < keys[b].bi
+			}
+			return keys[a].bj < keys[b].bj
+		})
+		for _, k := range keys {
+			entries := cand[k]
+			kept, evicted, emin, emax := fitExponentWindow(entries, maxPad)
+			if len(kept) >= threshold {
+				plan.Blocks = append(plan.Blocks, &Block{
+					Size:    size,
+					RowOff:  int(k.bi) * size,
+					ColOff:  int(k.bj) * size,
+					Entries: kept,
+					ExpMin:  emin,
+					ExpMax:  emax,
+				})
+				ss := plan.Stats.PerSize[size]
+				ss.Blocks++
+				ss.NNZ += len(kept)
+				plan.Stats.PerSize[size] = ss
+				plan.Stats.BlockedNNZ += len(kept)
+				// Range-evicted elements of an accepted block go to the
+				// local processor (§V-B1).
+				excluded = append(excluded, evicted...)
+				plan.Stats.ExcludedNNZ += len(evicted)
+			} else {
+				// Rejected: all entries (including would-be evictions)
+				// remain available for smaller block sizes.
+				next = append(next, entries...)
+			}
+		}
+		pool = next
+	}
+
+	// Remainder: unblocked pool plus range-evicted entries, in CSR form.
+	rem := sparse.NewCOO(m.Rows(), m.Cols())
+	rem.Entries = make([]sparse.Entry, 0, len(pool)+len(excluded))
+	for _, e := range pool {
+		rem.Entries = append(rem.Entries, sparse.Entry{Row: int(e.Row), Col: int(e.Col), Val: e.Val})
+	}
+	for _, e := range excluded {
+		rem.Entries = append(rem.Entries, sparse.Entry{Row: int(e.Row), Col: int(e.Col), Val: e.Val})
+	}
+	plan.Unblocked = rem.ToCSR()
+	return plan, nil
+}
+
+// fitExponentWindow finds the maximum-population window of exponents with
+// spread ≤ maxPad and splits the entries into kept (inside) and evicted
+// (outside), implementing the paper's "elements are selectively removed
+// until an acceptable range is attained" (§V-B1). Zero entries are always
+// kept (they need no alignment).
+func fitExponentWindow(entries []Entry, maxPad int) (kept, evicted []Entry, emin, emax int) {
+	// Collect exponents of nonzero entries.
+	type ec struct {
+		exp   int
+		count int
+	}
+	hist := make(map[int]int)
+	for _, e := range entries {
+		if e.Val != 0 {
+			hist[sparse.Exponent(e.Val)]++
+		}
+	}
+	if len(hist) == 0 {
+		return entries, nil, 0, 0
+	}
+	exps := make([]ec, 0, len(hist))
+	for e, c := range hist {
+		exps = append(exps, ec{e, c})
+	}
+	sort.Slice(exps, func(a, b int) bool { return exps[a].exp < exps[b].exp })
+	if exps[len(exps)-1].exp-exps[0].exp <= maxPad {
+		return entries, nil, exps[0].exp, exps[len(exps)-1].exp
+	}
+	// Sliding window over sorted exponents maximizing kept count.
+	best, bestLo := -1, 0
+	lo := 0
+	run := 0
+	for hi := 0; hi < len(exps); hi++ {
+		run += exps[hi].count
+		for exps[hi].exp-exps[lo].exp > maxPad {
+			run -= exps[lo].count
+			lo++
+		}
+		if run > best {
+			best, bestLo = run, lo
+		}
+	}
+	loExp := exps[bestLo].exp
+	hiExp := loExp + maxPad
+	kept = make([]Entry, 0, best)
+	emin, emax = hiExp, loExp
+	for _, e := range entries {
+		if e.Val == 0 {
+			kept = append(kept, e)
+			continue
+		}
+		x := sparse.Exponent(e.Val)
+		if x >= loExp && x <= hiExp {
+			kept = append(kept, e)
+			if x < emin {
+				emin = x
+			}
+			if x > emax {
+				emax = x
+			}
+		} else {
+			evicted = append(evicted, e)
+		}
+	}
+	return kept, evicted, emin, emax
+}

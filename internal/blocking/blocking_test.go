@@ -1,0 +1,298 @@
+package blocking
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"memsci/internal/core"
+	"memsci/internal/sparse"
+)
+
+func denseDiagonalBlockMatrix(n, blockSize int, density float64, seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	m := sparse.NewCOO(n, n)
+	for b := 0; b < n/blockSize; b++ {
+		base := b * blockSize
+		for i := 0; i < blockSize; i++ {
+			for j := 0; j < blockSize; j++ {
+				if rng.Float64() < density {
+					m.Add(base+i, base+j, 1+rng.Float64())
+				}
+			}
+		}
+	}
+	m.Compact()
+	return m.ToCSR()
+}
+
+func scatterMatrix(n, nnz int, seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	m := sparse.NewCOO(n, n)
+	for k := 0; k < nnz; k++ {
+		m.Add(rng.Intn(n), rng.Intn(n), rng.NormFloat64())
+	}
+	m.Compact()
+	return m.ToCSR()
+}
+
+func TestPreprocessDenseBlocksAccepted(t *testing.T) {
+	m := denseDiagonalBlockMatrix(1024, 128, 0.3, 1)
+	plan, err := Preprocess(m, DefaultSubstrate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff := plan.Stats.Efficiency(); eff < 0.95 {
+		t.Errorf("dense diagonal blocks: efficiency %.2f < 0.95", eff)
+	}
+}
+
+func TestPreprocessScatterRejected(t *testing.T) {
+	m := scatterMatrix(4096, 4096*8, 2) // 0.2% density: unblockable
+	plan, err := Preprocess(m, DefaultSubstrate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff := plan.Stats.Efficiency(); eff > 0.05 {
+		t.Errorf("scatter matrix: efficiency %.3f > 0.05", eff)
+	}
+	if plan.Unblocked.NNZ() < m.NNZ()*9/10 {
+		t.Errorf("scatter remainder too small: %d of %d", plan.Unblocked.NNZ(), m.NNZ())
+	}
+}
+
+// Conservation: every nonzero lands in exactly one place.
+func TestPreprocessConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 64 + rng.Intn(1000)
+		m := scatterMatrix(n, n*(2+rng.Intn(20)), seed)
+		// Mix in a dense block.
+		coo := m.ToCOO()
+		base := rng.Intn(n - 32)
+		for i := 0; i < 32; i++ {
+			for j := 0; j < 32; j++ {
+				coo.Add(base+i, base+j, 1)
+			}
+		}
+		coo.Compact()
+		m = coo.ToCSR()
+
+		plan, err := Preprocess(m, DefaultSubstrate())
+		if err != nil {
+			return false
+		}
+		blocked := 0
+		for _, b := range plan.Blocks {
+			blocked += b.NNZ()
+		}
+		return blocked+plan.Unblocked.NNZ() == m.NNZ() &&
+			blocked == plan.Stats.BlockedNNZ
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Every blocked entry must carry the original value at its coordinates,
+// and block-local coordinates must be in range.
+func TestPreprocessValuesPreserved(t *testing.T) {
+	m := denseDiagonalBlockMatrix(512, 64, 0.4, 3)
+	plan, err := Preprocess(m, DefaultSubstrate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range plan.Blocks {
+		for _, e := range b.Entries {
+			if int(e.Row) < b.RowOff || int(e.Row) >= b.RowOff+b.Size ||
+				int(e.Col) < b.ColOff || int(e.Col) >= b.ColOff+b.Size {
+				t.Fatalf("entry (%d,%d) outside block at (%d,%d) size %d",
+					e.Row, e.Col, b.RowOff, b.ColOff, b.Size)
+			}
+			if m.At(int(e.Row), int(e.Col)) != e.Val {
+				t.Fatalf("value mismatch at (%d,%d)", e.Row, e.Col)
+			}
+		}
+	}
+}
+
+// Exponent-range discipline: every accepted block fits the hardware
+// alignment capacity; out-of-window elements land on the local processor.
+func TestPreprocessExponentEviction(t *testing.T) {
+	n := 256
+	m := sparse.NewCOO(n, n)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.2 {
+				m.Add(i, j, 1+rng.Float64())
+			}
+		}
+	}
+	// Outliers beyond any 64-bit exponent window.
+	m.Add(0, 0, math.Ldexp(1, 200))
+	m.Add(10, 10, math.Ldexp(1, -200))
+	c := m.ToCSR()
+	plan, err := Preprocess(c, DefaultSubstrate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stats.ExcludedNNZ == 0 {
+		t.Error("exponent outliers not evicted")
+	}
+	for _, b := range plan.Blocks {
+		if b.ExpMax-b.ExpMin > core.MaxPadBits {
+			t.Fatalf("block exponent spread %d exceeds %d", b.ExpMax-b.ExpMin, core.MaxPadBits)
+		}
+		if b.StoredBits() > core.OperandBits {
+			t.Fatalf("stored bits %d exceed operand width", b.StoredBits())
+		}
+	}
+	// Evicted entries must appear in the remainder.
+	if plan.Unblocked.At(0, 0) != math.Ldexp(1, 200) {
+		t.Error("outlier lost")
+	}
+}
+
+func TestPreprocessPassBound(t *testing.T) {
+	m := denseDiagonalBlockMatrix(1024, 64, 0.3, 5)
+	plan, err := Preprocess(m, DefaultSubstrate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §V-B1: worst case 4 passes; early block discovery keeps it lower.
+	if p := plan.Stats.Passes(); p > 4.0 || p < 1.0 {
+		t.Errorf("passes = %g outside [1,4]", p)
+	}
+}
+
+func TestPreprocessRejectsNonFinite(t *testing.T) {
+	m := sparse.NewCOO(2, 2)
+	m.Add(0, 0, math.NaN())
+	if _, err := Preprocess(m.ToCSR(), DefaultSubstrate()); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestPreprocessDeterministic(t *testing.T) {
+	m := denseDiagonalBlockMatrix(768, 96, 0.25, 6)
+	p1, err := Preprocess(m, DefaultSubstrate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Preprocess(m, DefaultSubstrate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Blocks) != len(p2.Blocks) || p1.Stats.BlockedNNZ != p2.Stats.BlockedNNZ {
+		t.Fatal("preprocessing not deterministic")
+	}
+	for i := range p1.Blocks {
+		a, b := p1.Blocks[i], p2.Blocks[i]
+		if a.Size != b.Size || a.RowOff != b.RowOff || a.ColOff != b.ColOff || a.NNZ() != b.NNZ() {
+			t.Fatalf("block %d differs", i)
+		}
+	}
+}
+
+func TestBlockSplit(t *testing.T) {
+	b := &Block{Size: 128, RowOff: 256, ColOff: 512}
+	// One entry per quadrant plus an extra in quadrant 0.
+	b.Entries = []Entry{
+		{Row: 256, Col: 512, Val: 1},
+		{Row: 260, Col: 514, Val: math.Ldexp(1, 10)},
+		{Row: 256 + 64, Col: 512, Val: 2},
+		{Row: 256, Col: 512 + 64, Val: 3},
+		{Row: 256 + 64, Col: 512 + 64, Val: 4},
+	}
+	kids := b.Split()
+	if len(kids) != 4 {
+		t.Fatalf("got %d children", len(kids))
+	}
+	total := 0
+	for _, k := range kids {
+		if k.Size != 64 {
+			t.Errorf("child size %d", k.Size)
+		}
+		total += k.NNZ()
+		for _, e := range k.Entries {
+			if int(e.Row) < k.RowOff || int(e.Row) >= k.RowOff+64 ||
+				int(e.Col) < k.ColOff || int(e.Col) >= k.ColOff+64 {
+				t.Errorf("child entry outside bounds")
+			}
+		}
+	}
+	if total != 5 {
+		t.Errorf("children hold %d entries, want 5", total)
+	}
+	// Exponent range recomputed per child.
+	for _, k := range kids {
+		if k.RowOff == 256 && k.ColOff == 512 {
+			if k.ExpMin != 0 || k.ExpMax != 10 {
+				t.Errorf("child exp range %d..%d", k.ExpMin, k.ExpMax)
+			}
+		}
+	}
+}
+
+func TestBlockAccessors(t *testing.T) {
+	b := &Block{Size: 64, RowOff: 64, ColOff: 128,
+		Entries: []Entry{{Row: 70, Col: 130, Val: 2}}, ExpMin: 1, ExpMax: 1}
+	if b.Density() != 1.0/4096 {
+		t.Errorf("density %g", b.Density())
+	}
+	if b.StoredBits() != 54 {
+		t.Errorf("stored bits %d", b.StoredBits())
+	}
+	cs := b.Coefs()
+	if len(cs) != 1 || cs[0].Row != 6 || cs[0].Col != 2 || cs[0].Val != 2 {
+		t.Errorf("Coefs = %+v", cs)
+	}
+}
+
+func TestEmptySubstrateRejected(t *testing.T) {
+	m := scatterMatrix(16, 32, 7)
+	if _, err := Preprocess(m, Substrate{}); err == nil {
+		t.Error("empty substrate accepted")
+	}
+}
+
+// The heterogeneous substrate should use multiple block sizes on a
+// matrix with mixed-density regions (§V-B).
+func TestHeterogeneousSizesUsed(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 2048
+	m := sparse.NewCOO(n, n)
+	// Large dense region (512-worthy).
+	for i := 0; i < 512; i++ {
+		for j := 0; j < 512; j++ {
+			if rng.Float64() < 0.08 {
+				m.Add(i, j, 1)
+			}
+		}
+	}
+	// Small dense pockets (64-worthy).
+	for p := 0; p < 8; p++ {
+		base := 1024 + p*100
+		for i := 0; i < 48; i++ {
+			for j := 0; j < 48; j++ {
+				if rng.Float64() < 0.25 {
+					m.Add(base+i, base+j, 1)
+				}
+			}
+		}
+	}
+	m.Compact()
+	plan, err := Preprocess(m.ToCSR(), DefaultSubstrate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stats.PerSize[512].Blocks == 0 {
+		t.Error("no 512 blocks found for the dense region")
+	}
+	small := plan.Stats.PerSize[64].Blocks + plan.Stats.PerSize[128].Blocks
+	if small == 0 {
+		t.Error("no small blocks found for the pockets")
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// MaxPadBits is the maximum mantissa-alignment padding within a block: a
+// cluster operand is "a 53-bit mantissa, one sign bit, and up to 64 bits
+// of padding" (§III-B), so the exponent spread of the values sharing a
+// block may not exceed 64 and the magnitude width may not exceed
+// MaxMagnitudeBits = 117. With the sign handled by biasing, the unsigned
+// operand is at most OperandBits = 118 bits before AN coding.
+const (
+	MaxPadBits       = 64
+	MantissaBits     = 53
+	MaxMagnitudeBits = MantissaBits + MaxPadBits // 117
+	OperandBits      = MaxMagnitudeBits + 1      // 118
+)
+
+// ErrExponentRange is returned when a value set's exponent spread exceeds
+// what a single block encoding can align. The blocking preprocessor
+// (internal/blocking) removes such elements to the local processor.
+var ErrExponentRange = errors.New("core: exponent range exceeds block alignment capacity")
+
+// BlockCode describes the shared fixed-point encoding of one matrix block
+// or vector segment: every participating value v = ±m·2^(e−52) becomes
+// the signed integer F = ±(m << (e − MinExp)), and the block carries the
+// common scale 2^(MinExp − 52).
+type BlockCode struct {
+	// MinExp and MaxExp are the leading-digit exponents spanned by the
+	// nonzero values (equal when there is a single exponent).
+	MinExp, MaxExp int
+	// Width is the magnitude width in bits: 53 + (MaxExp − MinExp).
+	Width int
+	// Empty marks a code built from no nonzero values (all-zero block);
+	// every encoding under it is zero.
+	Empty bool
+}
+
+// Scale returns the power-of-two exponent s such that a fixed-point
+// integer F under this code represents the value F·2^s.
+func (c BlockCode) Scale() int {
+	if c.Empty {
+		return 0
+	}
+	return c.MinExp - (MantissaBits - 1)
+}
+
+// PadBits returns the worst-case alignment padding used by the code; the
+// paper reports this per matrix (e.g. Pres_Poisson ≤ 14, §VIII-B).
+func (c BlockCode) PadBits() int {
+	if c.Empty {
+		return 0
+	}
+	return c.MaxExp - c.MinExp
+}
+
+// Bias returns the per-block biasing constant of §IV-C: 2^Width, chosen
+// from the actual exponent range of the block rather than ISAAC's fixed
+// 2^16. Adding it maps every signed operand into [1, 2^(Width+1)).
+func (c BlockCode) Bias() *big.Int {
+	return new(big.Int).Lsh(big.NewInt(1), uint(c.Width))
+}
+
+// UnsignedBits is the width of the biased operand (Width+1 ≤ 118).
+func (c BlockCode) UnsignedBits() int {
+	if c.Empty {
+		return 1
+	}
+	return c.Width + 1
+}
+
+// NewBlockCode derives the shared encoding for a set of values, or
+// ErrExponentRange if their exponent spread exceeds maxPad (pass
+// MaxPadBits for the hardware limit). Zeros are ignored; they encode to 0
+// under any code.
+func NewBlockCode(vals []float64, maxPad int) (BlockCode, error) {
+	minE, maxE, any := expRange(vals)
+	if !any {
+		return BlockCode{Empty: true}, nil
+	}
+	if maxE-minE > maxPad {
+		return BlockCode{}, fmt.Errorf("%w: spread %d > %d", ErrExponentRange, maxE-minE, maxPad)
+	}
+	return BlockCode{MinExp: minE, MaxExp: maxE, Width: MantissaBits + (maxE - minE)}, nil
+}
+
+func expRange(vals []float64) (minE, maxE int, any bool) {
+	for _, v := range vals {
+		if v == 0 {
+			continue
+		}
+		e := Exponent(v)
+		if !any {
+			minE, maxE, any = e, e, true
+			continue
+		}
+		if e < minE {
+			minE = e
+		}
+		if e > maxE {
+			maxE = e
+		}
+	}
+	return
+}
+
+// Encode converts one value into its signed aligned fixed-point integer
+// under the code. The conversion is exact: Decode(Encode(v)) == v.
+func (c BlockCode) Encode(v float64) *big.Int {
+	d := Decompose(v)
+	if d.Zero {
+		return new(big.Int)
+	}
+	if c.Empty {
+		panic("core: encoding nonzero value under empty block code")
+	}
+	shift := d.Exp - c.MinExp
+	if shift < 0 || shift > c.Width-MantissaBits {
+		panic(fmt.Sprintf("core: value exponent %d outside block code [%d,%d]", d.Exp, c.MinExp, c.MaxExp))
+	}
+	z := new(big.Int).SetUint64(d.Mant)
+	z.Lsh(z, uint(shift))
+	if d.Neg {
+		z.Neg(z)
+	}
+	return z
+}
+
+// Decode converts a fixed-point integer back to float64 under the given
+// rounding mode (exact encodings of doubles round trip losslessly).
+func (c BlockCode) Decode(z *big.Int, mode RoundingMode) float64 {
+	return RoundBig(z, c.Scale(), mode)
+}
+
+// Fits reports whether a value's exponent lies inside the code's range so
+// that Encode would succeed (zero always fits).
+func (c BlockCode) Fits(v float64) bool {
+	if v == 0 {
+		return true
+	}
+	if c.Empty {
+		return false
+	}
+	e := Exponent(v)
+	return e >= c.MinExp && e <= c.MaxExp
+}
+
+// CombinedScale returns the scale of a dot product between integers
+// encoded under a matrix code and a vector code: the product
+// Σ F_i·X_i represents Σ F_i·X_i · 2^(mat.Scale()+vec.Scale()).
+func CombinedScale(mat, vec BlockCode) int {
+	return mat.Scale() + vec.Scale()
+}

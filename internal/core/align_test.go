@@ -1,0 +1,183 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockCodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]float64, 1+rng.Intn(30))
+		for i := range vals {
+			if rng.Intn(5) == 0 {
+				continue // keep some zeros
+			}
+			vals[i] = math.Ldexp(1+rng.Float64(), rng.Intn(40)-20)
+			if rng.Intn(2) == 0 {
+				vals[i] = -vals[i]
+			}
+		}
+		code, err := NewBlockCode(vals, MaxPadBits)
+		if err != nil {
+			return true
+		}
+		for _, v := range vals {
+			if v == 0 {
+				continue
+			}
+			z := code.Encode(v)
+			if got := code.Decode(z, NearestEven); got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockCodeWidths(t *testing.T) {
+	code, err := NewBlockCode([]float64{1.0, 1024.0}, MaxPadBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code.MinExp != 0 || code.MaxExp != 10 {
+		t.Fatalf("exp range %d..%d", code.MinExp, code.MaxExp)
+	}
+	if code.Width != 63 || code.PadBits() != 10 {
+		t.Errorf("width %d pad %d", code.Width, code.PadBits())
+	}
+	if code.UnsignedBits() != 64 {
+		t.Errorf("unsigned bits %d", code.UnsignedBits())
+	}
+	if code.Bias().BitLen() != 64 { // 2^63
+		t.Errorf("bias bitlen %d", code.Bias().BitLen())
+	}
+}
+
+func TestBlockCodeMaxWidth(t *testing.T) {
+	// Exactly the hardware limit: spread 64 → width 117, operand 118.
+	code, err := NewBlockCode([]float64{1, math.Ldexp(1, 64)}, MaxPadBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code.Width != MaxMagnitudeBits {
+		t.Errorf("width %d != %d", code.Width, MaxMagnitudeBits)
+	}
+	if code.UnsignedBits() != OperandBits {
+		t.Errorf("operand bits %d != %d", code.UnsignedBits(), OperandBits)
+	}
+	// One more and it must fail.
+	if _, err := NewBlockCode([]float64{1, math.Ldexp(1, 65)}, MaxPadBits); !errors.Is(err, ErrExponentRange) {
+		t.Errorf("spread 65 accepted: %v", err)
+	}
+}
+
+func TestBlockCodeEmpty(t *testing.T) {
+	code, err := NewBlockCode([]float64{0, 0}, MaxPadBits)
+	if err != nil || !code.Empty {
+		t.Fatalf("empty code: %+v err %v", code, err)
+	}
+	if z := code.Encode(0); z.Sign() != 0 {
+		t.Error("zero should encode to zero")
+	}
+}
+
+func TestBlockCodeFits(t *testing.T) {
+	code, _ := NewBlockCode([]float64{1, 16}, MaxPadBits)
+	for v, want := range map[float64]bool{
+		0: true, 1: true, 1.99: true, 16: true, 31: true,
+		32: false, 0.5: false,
+	} {
+		if got := code.Fits(v); got != want {
+			t.Errorf("Fits(%g) = %v", v, got)
+		}
+	}
+}
+
+func TestEncodeScaleConsistency(t *testing.T) {
+	// value = F · 2^Scale exactly.
+	code, _ := NewBlockCode([]float64{3.0, 0.75}, MaxPadBits)
+	f := code.Encode(3.0)
+	scale := code.Scale()
+	got := new(big.Float).SetInt(f)
+	got.SetMantExp(got, scale)
+	v, _ := got.Float64()
+	if v != 3.0 {
+		t.Errorf("F·2^scale = %g", v)
+	}
+}
+
+func TestCombinedScale(t *testing.T) {
+	a, _ := NewBlockCode([]float64{4}, MaxPadBits)   // MinExp 2
+	b, _ := NewBlockCode([]float64{0.5}, MaxPadBits) // MinExp -1
+	if got := CombinedScale(a, b); got != (2-52)+(-1-52) {
+		t.Errorf("CombinedScale = %d", got)
+	}
+}
+
+func TestNewBlockRejectsDuplicates(t *testing.T) {
+	_, err := NewBlock(2, 2, []Coef{{0, 0, 1}, {0, 0, 2}}, MaxPadBits)
+	if err == nil {
+		t.Error("duplicate coefficient accepted")
+	}
+}
+
+func TestNewBlockRejectsOutOfRange(t *testing.T) {
+	if _, err := NewBlock(2, 2, []Coef{{2, 0, 1}}, MaxPadBits); err == nil {
+		t.Error("out-of-range coefficient accepted")
+	}
+}
+
+func TestBlockRowBounds(t *testing.T) {
+	b, err := NewBlock(1, 3, []Coef{{0, 0, 2}, {0, 1, -3}, {0, 2, 5}}, MaxPadBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RowPos = F(2)+F(5), RowNeg = F(-3).
+	pos := new(big.Int).Add(b.Code.Encode(2), b.Code.Encode(5))
+	neg := b.Code.Encode(-3)
+	if b.RowPos[0].Cmp(pos) != 0 || b.RowNeg[0].Cmp(neg) != 0 {
+		t.Errorf("row bounds wrong: %v %v", b.RowPos[0], b.RowNeg[0])
+	}
+	if b.NNZ() != 3 || b.Density() != 1 {
+		t.Errorf("nnz %d density %g", b.NNZ(), b.Density())
+	}
+}
+
+func TestMulVecExactMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	vals := randBlockVals(rng, 5, 7, 25, 0.8)
+	b, err := NewBlockDense(vals, MaxPadBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randVec(rng, 7, 20, 0.9)
+	for _, mode := range []RoundingMode{TowardNegInf, NearestEven, TowardPosInf, TowardZero} {
+		y, err := b.MulVecExact(x, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range y {
+			if want := referenceDot(vals[i], x, mode); y[i] != want {
+				t.Fatalf("mode %v row %d: %g vs %g", mode, i, y[i], want)
+			}
+		}
+	}
+}
+
+func TestStoredBitsMatchesPaperExamples(t *testing.T) {
+	// Pres_Poisson-like narrow block: ≤14 pad bits → ≤68 stored (§VIII-B).
+	narrow := []float64{1, 2, math.Ldexp(1.5, 13)}
+	code, _ := NewBlockCode(narrow, MaxPadBits)
+	b, _ := NewBlock(1, 3, []Coef{{0, 0, narrow[0]}, {0, 1, narrow[1]}, {0, 2, narrow[2]}}, MaxPadBits)
+	if b.StoredBits() != code.UnsignedBits() || b.StoredBits() > 68 {
+		t.Errorf("narrow stored bits %d", b.StoredBits())
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Coef is one matrix coefficient placed inside a block, with coordinates
+// local to the block (0 ≤ Row < M, 0 ≤ Col < N).
+type Coef struct {
+	Row, Col int
+	Val      float64
+}
+
+// Block is a fixed-size dense view of a sparse-matrix sub-block, encoded
+// into the shared aligned fixed-point format of its cluster (§III-B).
+// Absent elements are exact zeros; they still occupy crossbar cells
+// (programmed to the biased encoding of zero).
+type Block struct {
+	M, N int // M matrix rows (crossbar output columns), N matrix cols (inputs)
+	Code BlockCode
+
+	// F holds the signed aligned integers, row-major (F[i*N+j]).
+	F []*big.Int
+	// Vals holds the original doubles, row-major, for reference paths.
+	Vals []float64
+
+	// RowPos[i] = Σ_j max(F[i][j], 0) and RowNeg[i] = Σ_j min(F[i][j], 0)
+	// bound any partial dot product of row i with a binary vector slice;
+	// the early-termination interval test uses them (§IV-B).
+	RowPos, RowNeg []*big.Int
+
+	nnz int
+}
+
+// NewBlock encodes a set of coefficients into an M×N block. maxPad bounds
+// the exponent spread (MaxPadBits for the hardware limit); coefficients
+// outside the range make the whole constructor fail — the blocking
+// preprocessor removes such elements *before* building blocks.
+func NewBlock(m, n int, coefs []Coef, maxPad int) (*Block, error) {
+	if m <= 0 || n <= 0 {
+		return nil, fmt.Errorf("core: block dimensions %dx%d", m, n)
+	}
+	vals := make([]float64, len(coefs))
+	for i, c := range coefs {
+		if c.Row < 0 || c.Row >= m || c.Col < 0 || c.Col >= n {
+			return nil, fmt.Errorf("core: coefficient (%d,%d) outside %dx%d block", c.Row, c.Col, m, n)
+		}
+		vals[i] = c.Val
+	}
+	code, err := NewBlockCode(vals, maxPad)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{M: m, N: n, Code: code}
+	b.F = make([]*big.Int, m*n)
+	b.Vals = make([]float64, m*n)
+	zero := new(big.Int)
+	for i := range b.F {
+		b.F[i] = zero
+	}
+	seen := make([]bool, m*n)
+	for _, c := range coefs {
+		idx := c.Row*n + c.Col
+		if seen[idx] {
+			return nil, fmt.Errorf("core: duplicate coefficient at (%d,%d)", c.Row, c.Col)
+		}
+		seen[idx] = true
+		if c.Val == 0 {
+			continue
+		}
+		b.F[idx] = code.Encode(c.Val)
+		b.Vals[idx] = c.Val
+		b.nnz++
+	}
+	b.RowPos = make([]*big.Int, m)
+	b.RowNeg = make([]*big.Int, m)
+	for i := 0; i < m; i++ {
+		pos, neg := new(big.Int), new(big.Int)
+		for j := 0; j < n; j++ {
+			f := b.F[i*n+j]
+			switch f.Sign() {
+			case 1:
+				pos.Add(pos, f)
+			case -1:
+				neg.Add(neg, f)
+			}
+		}
+		b.RowPos[i], b.RowNeg[i] = pos, neg
+	}
+	return b, nil
+}
+
+// NewBlockDense encodes a dense M×N value matrix (rows of equal length).
+func NewBlockDense(vals [][]float64, maxPad int) (*Block, error) {
+	m := len(vals)
+	if m == 0 {
+		return nil, fmt.Errorf("core: empty dense block")
+	}
+	n := len(vals[0])
+	var coefs []Coef
+	for i, row := range vals {
+		if len(row) != n {
+			return nil, fmt.Errorf("core: ragged dense block")
+		}
+		for j, v := range row {
+			if v != 0 {
+				coefs = append(coefs, Coef{Row: i, Col: j, Val: v})
+			}
+		}
+	}
+	return NewBlock(m, n, coefs, maxPad)
+}
+
+// NNZ returns the number of nonzero coefficients mapped into the block.
+func (b *Block) NNZ() int { return b.nnz }
+
+// At returns the original double at local coordinates (i, j).
+func (b *Block) At(i, j int) float64 { return b.Vals[i*b.N+j] }
+
+// Density is NNZ/(M·N), the d_block of §V-A.
+func (b *Block) Density() float64 { return float64(b.nnz) / float64(b.M*b.N) }
+
+// StoredBits returns the biased operand width actually needed by this
+// block (the paper reports e.g. 107 stored bits per cluster for nasasrb
+// vs ≤ 67 for Pres_Poisson, §VIII-B).
+func (b *Block) StoredBits() int { return b.Code.UnsignedBits() }
+
+// MulVecExact computes the block MVM in exact integer arithmetic (no
+// hardware model): y_i = Round(Σ_j F[i][j]·X_j · 2^scale). It is the
+// reference the cluster engine is tested against.
+func (b *Block) MulVecExact(x []float64, mode RoundingMode) ([]float64, error) {
+	if len(x) != b.N {
+		return nil, fmt.Errorf("core: vector length %d != block cols %d", len(x), b.N)
+	}
+	vs, err := SliceVector(x, DefaultVectorMaxPad)
+	if err != nil {
+		return nil, err
+	}
+	scale := CombinedScale(b.Code, vs.Code)
+	y := make([]float64, b.M)
+	acc := new(big.Int)
+	term := new(big.Int)
+	for i := 0; i < b.M; i++ {
+		acc.SetInt64(0)
+		for j := 0; j < b.N; j++ {
+			f := b.F[i*b.N+j]
+			if f.Sign() == 0 || vs.Ints[j].Sign() == 0 {
+				continue
+			}
+			term.Mul(f, vs.Ints[j])
+			acc.Add(acc, term)
+		}
+		y[i] = RoundBig(acc, scale, mode)
+	}
+	return y, nil
+}

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"memsci/internal/ancode"
+	"memsci/internal/device"
+	"memsci/internal/xbar"
+)
+
+// ClusterConfig selects the hardware features of a cluster engine.
+type ClusterConfig struct {
+	// Device is the memristor cell model; device.TaOx() for the paper's
+	// Table I technology. BitsPerCell and error parameters come from it.
+	Device device.Params
+	// Seed drives the deterministic device-error sampler.
+	Seed int64
+	// InjectErrors enables the analog error model; when false the planes
+	// produce exact digital sums (the design point the paper validates,
+	// then stresses in Figures 12-13).
+	InjectErrors bool
+	// CIC enables computational invert coding (§V-B2). On by default in
+	// DefaultClusterConfig.
+	CIC bool
+	// Headstart enables ADC headstart (§V-B2).
+	Headstart bool
+	// Rounding is the IEEE rounding mode for results (§IV-D).
+	Rounding RoundingMode
+	// DisableAN turns off AN decode/correction (ablation).
+	DisableAN bool
+	// DisableEarlyTermination forces full-width accumulation (ablation;
+	// the naive 127×127 operation count of §IV-B).
+	DisableEarlyTermination bool
+	// MaxCorrectCount bounds the error-magnitude the AN corrector
+	// searches (1 = single count errors).
+	MaxCorrectCount int
+	// VectorMaxPad bounds vector-segment alignment padding.
+	VectorMaxPad int
+}
+
+// DefaultClusterConfig returns the paper's evaluation configuration:
+// 1-bit TaOx cells, CIC, ADC headstart, truncation rounding, AN
+// protection, early termination enabled, no injected errors.
+func DefaultClusterConfig() ClusterConfig {
+	return ClusterConfig{
+		Device:          device.TaOx(),
+		CIC:             true,
+		Headstart:       true,
+		Rounding:        TowardNegInf,
+		MaxCorrectCount: 1,
+		VectorMaxPad:    DefaultVectorMaxPad,
+	}
+}
+
+// ComputeStats aggregates the observable costs of cluster MVM operations,
+// the quantities the performance and energy models consume.
+type ComputeStats struct {
+	// Ops counts MulVec invocations.
+	Ops int
+	// VectorSlicesApplied counts applied vector bit slices (cluster
+	// latency is proportional to this times the column count).
+	VectorSlicesApplied int
+	// VectorSlicesTotal counts the slices a naive full computation would
+	// have applied.
+	VectorSlicesTotal int
+	// Conversions counts ADC column conversions performed.
+	Conversions uint64
+	// ConversionsSkipped counts conversions avoided by early termination
+	// (settled columns skip quantization, §III-B).
+	ConversionsSkipped uint64
+	// ConversionBits counts total SAR bit decisions (headstart reduces
+	// this without changing Conversions).
+	ConversionBits uint64
+	// CrossbarActivations counts plane activations (vertical schedule).
+	CrossbarActivations uint64
+	// AN aggregates error-correction outcomes.
+	AN ancode.Stats
+	// ColumnSlicesUsed histograms, per MulVec output element, how many
+	// vector slices were needed before settling (indexed per last call).
+	ColumnSlicesUsed []int
+	// MinSettleSlice is the lowest vector-slice index still processed
+	// (the early-termination cutoff achieved on the last call).
+	MinSettleSlice int
+}
+
+func (s *ComputeStats) reset(cols int) {
+	s.ColumnSlicesUsed = make([]int, cols)
+	s.MinSettleSlice = 0
+}
+
+// Cluster is the functional engine for one crossbar cluster: the 127
+// bit-slice crossbars of §III-B holding one encoded matrix block, plus
+// the shift-and-add reduction, AN decode, de-biasing, running-sum
+// accumulation and early-termination logic of Figures 2-5.
+type Cluster struct {
+	cfg   ClusterConfig
+	block *Block
+
+	planes    []*xbar.Plane
+	planeBits int // bits per plane = Device.BitsPerCell
+	nPlanes   int
+	adc       xbar.ADC
+	arr       *device.Array
+	corr      *ancode.Corrector
+	bias      *big.Int
+
+	// uMax is 2^UnsignedBits − 1, the AN corrector's per-unit-popcount
+	// range cap.
+	uMax *big.Int
+	// redWords is the reduction accumulator (reused across columns).
+	redWords []big.Word
+
+	stats ComputeStats
+}
+
+// ClusterPlanes is the number of bit-slice crossbars per cluster with
+// single-bit cells: a 118-bit biased operand times A=251 needs
+// 118 + 9 = 127 planes (§III-B). Narrower blocks use fewer.
+const ClusterPlanes = 127
+
+// NewCluster programs a block into a fresh cluster.
+func NewCluster(block *Block, cfg ClusterConfig) (*Cluster, error) {
+	if err := cfg.Device.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.VectorMaxPad == 0 {
+		cfg.VectorMaxPad = DefaultVectorMaxPad
+	}
+	if cfg.MaxCorrectCount == 0 {
+		cfg.MaxCorrectCount = 1
+	}
+	c := &Cluster{cfg: cfg, block: block, bias: block.Code.Bias()}
+	c.planeBits = cfg.Device.BitsPerCell
+
+	codedBits := block.Code.UnsignedBits() + ancode.CheckBits - 1 // ×251 adds 8 bits
+	c.nPlanes = (codedBits + c.planeBits - 1) / c.planeBits
+	if c.nPlanes < 1 {
+		c.nPlanes = 1
+	}
+
+	if cfg.InjectErrors {
+		c.arr = device.NewArray(cfg.Device, cfg.Seed)
+	}
+
+	// Program the planes: every cell (including absent elements) holds
+	// its slice of V = A·(F + bias), the biased AN-coded operand.
+	c.planes = make([]*xbar.Plane, c.nPlanes)
+	for t := range c.planes {
+		c.planes[t] = xbar.NewPlane(block.M, block.N, c.planeBits)
+	}
+	v := new(big.Int)
+	for i := 0; i < block.M; i++ {
+		for j := 0; j < block.N; j++ {
+			v.Add(block.F[i*block.N+j], c.bias)
+			v.Mul(v, big.NewInt(ancode.A))
+			for t := 0; t < c.nPlanes; t++ {
+				var level uint8
+				for b := 0; b < c.planeBits; b++ {
+					if v.Bit(t*c.planeBits+b) == 1 {
+						level |= 1 << b
+					}
+				}
+				c.planes[t].Set(i, j, level)
+			}
+		}
+	}
+	cic := cfg.CIC && c.planeBits == 1
+	if cic {
+		for _, p := range c.planes {
+			p.ApplyCIC()
+		}
+	}
+	c.adc = xbar.ADC{
+		Resolution: xbar.RequiredResolution(block.N, c.planeBits, cic),
+		Headstart:  cfg.Headstart,
+	}
+	// Corrector candidate positions span the coded operand plus the bits
+	// accumulated by summing up to N operands.
+	sumBits := codedBits + bitsLen(block.N)
+	c.corr = ancode.NewCorrector(sumBits, cfg.MaxCorrectCount)
+	// Max decoded per-unit-popcount: 2^UnsignedBits − 1.
+	c.uMax = new(big.Int).Lsh(big.NewInt(1), uint(block.Code.UnsignedBits()))
+	c.uMax.Sub(c.uMax, big.NewInt(1))
+	// Reduction accumulator: coded bits plus the summation growth.
+	c.redWords = make([]big.Word, (sumBits+64+63)/64)
+	return c, nil
+}
+
+// addShifted adds v·2^shift into a little-endian word accumulator.
+func addShifted(words []big.Word, shift uint, v uint64) {
+	if v == 0 {
+		return
+	}
+	w, off := shift/64, shift%64
+	lo := v << off
+	var hi uint64
+	if off != 0 {
+		hi = v >> (64 - off)
+	}
+	s := uint64(words[w]) + lo
+	carry := uint64(0)
+	if s < lo {
+		carry = 1
+	}
+	words[w] = big.Word(s)
+	i := w + 1
+	add := hi + carry
+	for add != 0 {
+		s = uint64(words[i]) + add
+		if s < add {
+			add = 1
+		} else {
+			add = 0
+		}
+		words[i] = big.Word(s)
+		i++
+	}
+}
+
+// Block returns the programmed block.
+func (c *Cluster) Block() *Block { return c.block }
+
+// Planes returns the number of bit-slice crossbars in use.
+func (c *Cluster) Planes() int { return c.nPlanes }
+
+// ADCResolution returns the per-crossbar ADC resolution in bits.
+func (c *Cluster) ADCResolution() int { return c.adc.Resolution }
+
+// Stats returns the accumulated compute statistics.
+func (c *Cluster) Stats() *ComputeStats { return &c.stats }
+
+// MulVec performs the cluster MVM y = B·x with the full §III-B pipeline:
+// vector bit slices are applied most significant first; each plane's
+// column sums pass through the shift-and-add reduction; the fixed-point
+// partial dot product is AN-checked, de-biased, and accumulated into the
+// per-output running sum; outputs retire as soon as their IEEE mantissa
+// settles (§IV-B).
+func (c *Cluster) MulVec(x []float64) ([]float64, error) {
+	b := c.block
+	if len(x) != b.N {
+		return nil, fmt.Errorf("core: vector length %d != block cols %d", len(x), b.N)
+	}
+	vs, err := SliceVector(x, c.cfg.VectorMaxPad)
+	if err != nil {
+		return nil, err
+	}
+	c.stats.Ops++
+	c.stats.reset(b.M)
+
+	y := make([]float64, b.M)
+	if vs.Code.Empty || b.Code.Empty {
+		return y, nil // zero vector or zero block
+	}
+	scale := CombinedScale(b.Code, vs.Code)
+	c.stats.VectorSlicesTotal += vs.Width
+	c.stats.MinSettleSlice = vs.Width
+
+	run := make([]*big.Int, b.M)
+	for i := range run {
+		run[i] = new(big.Int)
+	}
+	settled := make([]bool, b.M)
+	unsettled := b.M
+
+	p := new(big.Int)
+	contrib := new(big.Int)
+	biased := new(big.Int)
+	applied := 0
+	for j := vs.Width - 1; j >= 0 && unsettled > 0; j-- {
+		slice := vs.Slices[j]
+		popX := vs.Pop[j]
+		applied++
+		c.stats.VectorSlicesApplied++
+		c.stats.CrossbarActivations += uint64(c.nPlanes)
+		c.stats.MinSettleSlice = j
+
+		if popX == 0 {
+			// An all-zero slice contributes nothing but still counts as a
+			// (cheap) application; settled columns are re-checked below
+			// because the remaining-weight bound shrank.
+			c.checkSettle(run, settled, &unsettled, y, j, scale, applied)
+			continue
+		}
+		biased.Mul(c.bias, big.NewInt(int64(popX))) // de-bias term B·pop(x_j)
+		negWeight := vs.Weight(j)
+
+		for i := 0; i < b.M; i++ {
+			if settled[i] {
+				c.stats.ConversionsSkipped += uint64(c.nPlanes)
+				continue
+			}
+			// Shift-and-add reduction across planes: counts land at bit
+			// position plane·bitsPerCell, accumulated in raw words.
+			for w := range c.redWords {
+				c.redWords[w] = 0
+			}
+			for t := 0; t < c.nPlanes; t++ {
+				res := c.planes[t].Column(i, slice, popX, c.arr, c.adc)
+				c.stats.Conversions++
+				c.stats.ConversionBits += uint64(res.BitsConverted)
+				addShifted(c.redWords, uint(t*c.planeBits), uint64(res.Count))
+			}
+			p.SetBits(c.redWords)
+			// AN decode: P = A·Σ U·x must be divisible by A.
+			var q *big.Int
+			if c.cfg.DisableAN {
+				q = new(big.Int).Div(p, big.NewInt(ancode.A))
+			} else {
+				max := new(big.Int).Mul(c.uMax, big.NewInt(int64(popX)))
+				var out ancode.Outcome
+				q, out = c.corr.Correct(p, new(big.Int), max)
+				c.stats.AN.Add(out)
+			}
+			// De-bias: D = Q − B·pop(x_j) = Σ F·x_j.
+			contrib.Sub(q, biased)
+			// Accumulate with the slice weight ±2^j.
+			contrib.Lsh(contrib, uint(j))
+			if negWeight {
+				run[i].Sub(run[i], contrib)
+			} else {
+				run[i].Add(run[i], contrib)
+			}
+		}
+		c.checkSettle(run, settled, &unsettled, y, j, scale, applied)
+	}
+	// Anything still unsettled after the last slice is exact.
+	for i := 0; i < b.M; i++ {
+		if !settled[i] {
+			y[i] = RoundBig(run[i], scale, c.cfg.Rounding)
+			c.stats.ColumnSlicesUsed[i] = vs.Width
+		}
+	}
+	return y, nil
+}
+
+// checkSettle applies the early-termination test after slice j has been
+// accumulated: remaining slices all carry positive weights summing to
+// 2^j − 1, and each remaining partial dot product lies in
+// [RowNeg_i, RowPos_i].
+func (c *Cluster) checkSettle(run []*big.Int, settled []bool, unsettled *int, y []float64, j, scale, applied int) {
+	if c.cfg.DisableEarlyTermination || j == 0 {
+		return
+	}
+	rest := RemainingWeight(j)
+	lo := new(big.Int)
+	hi := new(big.Int)
+	for i := range run {
+		if settled[i] {
+			continue
+		}
+		lo.Mul(rest, c.block.RowNeg[i])
+		hi.Mul(rest, c.block.RowPos[i])
+		if v, ok := IntervalSettled(run[i], lo, hi, scale, c.cfg.Rounding); ok {
+			settled[i] = true
+			y[i] = v
+			c.stats.ColumnSlicesUsed[i] = applied
+			*unsettled--
+		}
+	}
+}
+
+func bitsLen(n int) int {
+	b := 0
+	for n > 0 {
+		b++
+		n >>= 1
+	}
+	return b
+}

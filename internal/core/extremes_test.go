@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// Numeric edge cases: denormals, huge and tiny exponents, and the guard
+// bits directed rounding modes require (§IV-D).
+
+func TestClusterDenormals(t *testing.T) {
+	tiny := math.Ldexp(1, -1060) // deep denormal territory products
+	vals := [][]float64{{tiny, 2 * tiny}, {3 * tiny, -tiny}}
+	c := mustCluster(t, vals, DefaultClusterConfig())
+	x := []float64{1.5, 0.25}
+	y, err := c.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range y {
+		want := referenceDot(vals[i], x, TowardNegInf)
+		if math.Float64bits(y[i]) != math.Float64bits(want) {
+			t.Fatalf("denormal row %d: %g vs %g", i, y[i], want)
+		}
+	}
+}
+
+func TestClusterHugeExponents(t *testing.T) {
+	big := math.Ldexp(1.25, 900)
+	vals := [][]float64{{big, -big / 2}, {big / 4, big / 8}}
+	c := mustCluster(t, vals, DefaultClusterConfig())
+	x := []float64{math.Ldexp(1, 100), math.Ldexp(1, 90)}
+	y, err := c.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range y {
+		want := referenceDot(vals[i], x, TowardNegInf)
+		if math.Float64bits(y[i]) != math.Float64bits(want) {
+			t.Fatalf("huge row %d: %g vs %g", i, y[i], want)
+		}
+	}
+}
+
+func TestClusterOverflowToInf(t *testing.T) {
+	// A dot product exceeding MaxFloat64 must produce +Inf under nearest
+	// rounding (overflow handling of §IV-D) and MaxFloat64 under modes
+	// rounding toward the finite side.
+	big := math.MaxFloat64 / 2
+	vals := [][]float64{{big, big}}
+	x := []float64{1.5, 1.5}
+	for mode, want := range map[RoundingMode]float64{
+		NearestEven:  math.Inf(1),
+		TowardNegInf: math.MaxFloat64,
+		TowardZero:   math.MaxFloat64,
+		TowardPosInf: math.Inf(1),
+	} {
+		cfg := DefaultClusterConfig()
+		cfg.Rounding = mode
+		c := mustCluster(t, vals, cfg)
+		y, err := c.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(y[0]) != math.Float64bits(want) {
+			t.Errorf("mode %v: got %g want %g", mode, y[0], want)
+		}
+	}
+}
+
+func TestClusterUnderflowToZero(t *testing.T) {
+	tiny := math.Ldexp(1, -1070)
+	vals := [][]float64{{tiny, -tiny}}
+	x := []float64{math.Ldexp(1, -30), math.Ldexp(1, -31)}
+	c := mustCluster(t, vals, DefaultClusterConfig())
+	y, err := c.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceDot(vals[0], x, TowardNegInf)
+	if math.Float64bits(y[0]) != math.Float64bits(want) {
+		t.Fatalf("underflow: got %g (%x) want %g (%x)",
+			y[0], math.Float64bits(y[0]), want, math.Float64bits(want))
+	}
+}
+
+func TestBlockRejectsNonFinite(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for Inf input (§IV-D: accelerator rejects non-finite values)")
+		}
+	}()
+	_, _ = NewBlockDense([][]float64{{math.Inf(1)}}, MaxPadBits)
+}
+
+func TestGuardBitsDirectedRounding(t *testing.T) {
+	// A sum that lands exactly between representable values: nearest-even
+	// must resolve the tie with the extra settled bits (§IV-D: "compute
+	// three additional settled bits before truncation").
+	vals := [][]float64{{1.0, math.Ldexp(1, -53)}}
+	x := []float64{1, 1} // sum = 1 + 2^-53: the tie point above 1
+	for _, mode := range []RoundingMode{NearestEven, TowardPosInf, TowardZero, TowardNegInf} {
+		cfg := DefaultClusterConfig()
+		cfg.Rounding = mode
+		c := mustCluster(t, vals, cfg)
+		y, err := c.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := referenceDot(vals[0], x, mode)
+		if math.Float64bits(y[0]) != math.Float64bits(want) {
+			t.Errorf("mode %v tie: got %x want %x", mode, math.Float64bits(y[0]), math.Float64bits(want))
+		}
+	}
+}
+
+func TestClusterSingleElementBlock(t *testing.T) {
+	c := mustCluster(t, [][]float64{{-3.75}}, DefaultClusterConfig())
+	y, err := c.MulVec([]float64{2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != -9.375 {
+		t.Errorf("1x1 block: %g", y[0])
+	}
+}
+
+func mustClusterRange(t *testing.T, vals [][]float64) {
+	t.Helper()
+	if _, err := NewBlockDense(vals, MaxPadBits); err != nil {
+		t.Fatalf("range-limit block rejected: %v", err)
+	}
+}
+
+func TestRangeLimitBoundary(t *testing.T) {
+	mustClusterRange(t, [][]float64{{1, math.Ldexp(1, 64)}})
+	if _, err := NewBlockDense([][]float64{{1, math.Ldexp(1, 65)}}, MaxPadBits); err == nil {
+		t.Error("65-bit spread accepted")
+	}
+}

@@ -1,0 +1,207 @@
+// Package core implements the paper's primary contribution: IEEE-754
+// double-precision floating-point matrix–vector multiplication on
+// fixed-point memristive hardware (§III–IV). It provides
+//
+//   - exact float64 ⇄ aligned fixed-point conversion that exploits
+//     exponent-range locality (§IV-B, "Exploiting exponent range locality"),
+//   - the per-block biasing scheme for negative numbers (§IV-C),
+//   - two's-complement bit slicing of the input vector,
+//   - the running-sum region analysis and early-termination criterion
+//     (§IV-B, Figures 4 and 5),
+//   - the crossbar activation scheduling policies of Figure 6, and
+//   - the cluster MVM engine that ties these to the crossbar planes,
+//     the AN code, and the device-error model.
+package core
+
+import (
+	"math"
+	"math/big"
+)
+
+// RoundingMode selects the IEEE-754 rounding behavior for converting an
+// exact dot product to a double. The accelerator's natural mode is
+// TowardNegInf (truncation of a biased result, §IV-D); the other modes
+// need three additional settled bits, which the termination criterion
+// accounts for automatically.
+type RoundingMode int
+
+const (
+	// TowardNegInf truncates toward −∞ (the accelerator default, §IV-D).
+	TowardNegInf RoundingMode = iota
+	// NearestEven is IEEE-754 round-to-nearest, ties to even.
+	NearestEven
+	// TowardPosInf rounds toward +∞.
+	TowardPosInf
+	// TowardZero truncates the magnitude.
+	TowardZero
+)
+
+func (m RoundingMode) String() string {
+	switch m {
+	case TowardNegInf:
+		return "toward-neg-inf"
+	case NearestEven:
+		return "nearest-even"
+	case TowardPosInf:
+		return "toward-pos-inf"
+	case TowardZero:
+		return "toward-zero"
+	}
+	return "unknown"
+}
+
+func (m RoundingMode) bigMode() big.RoundingMode {
+	switch m {
+	case TowardNegInf:
+		return big.ToNegativeInf
+	case NearestEven:
+		return big.ToNearestEven
+	case TowardPosInf:
+		return big.ToPositiveInf
+	case TowardZero:
+		return big.ToZero
+	}
+	return big.ToNegativeInf
+}
+
+// Decomposed is a float64 taken apart into sign, a full 53-bit integer
+// mantissa, and the exponent of its leading binary digit:
+// value = ±Mant·2^(Exp−52) with Mant ∈ [2^52, 2^53) for nonzero values.
+type Decomposed struct {
+	Neg  bool
+	Mant uint64
+	Exp  int
+	Zero bool
+}
+
+// Decompose splits a finite float64. Denormals are normalized (their
+// mantissa is shifted up and the exponent lowered accordingly), so Mant
+// always carries 53 significant bits for nonzero inputs. Panics on Inf or
+// NaN: the accelerator rejects them at its boundary (§IV-D).
+func Decompose(v float64) Decomposed {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		panic("core: Decompose of non-finite value")
+	}
+	if v == 0 {
+		return Decomposed{Zero: true}
+	}
+	frac, exp := math.Frexp(v) // v = frac·2^exp, |frac| ∈ [0.5, 1)
+	neg := false
+	if frac < 0 {
+		neg = true
+		frac = -frac
+	}
+	// frac has at most 53 significant bits, so frac·2^53 is an exact
+	// integer in [2^52, 2^53).
+	mant := uint64(frac * (1 << 53))
+	return Decomposed{Neg: neg, Mant: mant, Exp: exp - 1}
+}
+
+// Value reassembles the exact float64.
+func (d Decomposed) Value() float64 {
+	if d.Zero {
+		return 0
+	}
+	v := math.Ldexp(float64(d.Mant), d.Exp-52)
+	if d.Neg {
+		return -v
+	}
+	return v
+}
+
+// Exponent returns the unbiased exponent of the leading binary digit of
+// |v| (Exponent(1.5) = 0, Exponent(0.25) = −2). v must be finite and
+// nonzero.
+func Exponent(v float64) int {
+	_, e := math.Frexp(v)
+	return e - 1
+}
+
+// RoundBig converts the exact value z·2^scale to float64 under the given
+// rounding mode, with full IEEE-754 semantics: denormal precision loss,
+// round-to-odd-free directed rounding, overflow to ±Inf for modes that
+// round away and to ±MaxFloat64 for modes that round toward the finite
+// side, and gradual underflow to (signed) zero.
+func RoundBig(z *big.Int, scale int, mode RoundingMode) float64 {
+	sign := z.Sign()
+	if sign == 0 {
+		return 0
+	}
+	a := new(big.Int).Abs(z)
+	bl := a.BitLen()
+	lead := bl - 1 + scale // exponent of the leading binary digit
+
+	// ulp exponent of the target: normal numbers carry 53 bits; below
+	// 2^-1022 the mantissa shrinks until the last denormal ulp 2^-1074.
+	u := lead - 52
+	if u < -1074 {
+		u = -1074
+	}
+	shift := u - scale
+	m := new(big.Int)
+	if shift <= 0 {
+		m.Lsh(a, uint(-shift)) // exact: at most 53 bits by construction
+	} else {
+		rem := new(big.Int)
+		m.Rsh(a, uint(shift))
+		rem.And(a, new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), uint(shift)), big.NewInt(1)))
+		if rem.Sign() != 0 {
+			up := false
+			switch mode {
+			case TowardZero:
+			case TowardNegInf:
+				up = sign < 0
+			case TowardPosInf:
+				up = sign > 0
+			case NearestEven:
+				half := new(big.Int).Lsh(big.NewInt(1), uint(shift-1))
+				switch rem.Cmp(half) {
+				case 1:
+					up = true
+				case 0:
+					up = m.Bit(0) == 1 // tie: round to even
+				}
+			}
+			if up {
+				m.Add(m, big.NewInt(1))
+			}
+		}
+	}
+	// m·2^u is representable unless it overflows: m ≤ 2^53 here (the
+	// increment can push an all-ones mantissa to exactly 2^53, which is a
+	// clean power of two).
+	mf := float64(m.Uint64())
+	v := math.Ldexp(mf, u)
+	if math.IsInf(v, 0) {
+		// IEEE overflow: modes rounding toward the finite side clamp.
+		switch mode {
+		case TowardZero:
+			v = math.MaxFloat64
+		case TowardNegInf:
+			if sign > 0 {
+				v = math.MaxFloat64
+			}
+		case TowardPosInf:
+			if sign < 0 {
+				v = math.MaxFloat64
+			}
+		}
+	}
+	if sign < 0 {
+		v = -v
+	}
+	return v
+}
+
+// RoundBigMonotone reports the float64 rounding of z·2^scale and is the
+// building block of the termination criterion: because IEEE rounding is
+// monotone non-decreasing, two interval endpoints that round identically
+// guarantee every value between them does too.
+func RoundBigMonotone(lo, hi *big.Int, scale int, mode RoundingMode) (v float64, settled bool) {
+	a := RoundBig(lo, scale, mode)
+	b := RoundBig(hi, scale, mode)
+	if math.Float64bits(a) == math.Float64bits(b) {
+		return a, true
+	}
+	return 0, false
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"memsci/internal/softfp"
+)
+
+func TestDecomposeRoundTrip(t *testing.T) {
+	cases := []float64{0, 1, -1, 1.5, -2.25, math.Pi, 1e300, -1e-300,
+		5e-324, math.MaxFloat64, -math.MaxFloat64, 4.9406564584124654e-324,
+		2.2250738585072014e-308, // smallest normal
+		1.7976931348623157e308,
+	}
+	for _, v := range cases {
+		d := Decompose(v)
+		if got := d.Value(); got != v {
+			t.Errorf("Decompose(%g).Value() = %g", v, got)
+		}
+	}
+}
+
+func TestDecomposeRoundTripQuick(t *testing.T) {
+	f := func(bits uint64) bool {
+		v := math.Float64frombits(bits)
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			return true
+		}
+		d := Decompose(v)
+		got := d.Value()
+		// -0 decomposes to +0; everything else must be bit-exact.
+		if v == 0 {
+			return got == 0
+		}
+		return math.Float64bits(got) == math.Float64bits(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposeMantissaNormalized(t *testing.T) {
+	for _, v := range []float64{1, 0.5, 3, 1e-310, 7e300} {
+		d := Decompose(v)
+		if d.Mant < 1<<52 || d.Mant >= 1<<53 {
+			t.Errorf("Decompose(%g).Mant = %d not in [2^52, 2^53)", v, d.Mant)
+		}
+	}
+}
+
+func TestExponent(t *testing.T) {
+	cases := []struct {
+		v float64
+		e int
+	}{
+		{1, 0}, {1.5, 0}, {2, 1}, {0.5, -1}, {0.25, -2}, {8, 3}, {-8, 3},
+		{3.999, 1}, {4, 2},
+	}
+	for _, c := range cases {
+		if got := Exponent(c.v); got != c.e {
+			t.Errorf("Exponent(%g) = %d, want %d", c.v, got, c.e)
+		}
+	}
+}
+
+func TestRoundBigExact(t *testing.T) {
+	// Values exactly representable must round identically in all modes.
+	for _, v := range []float64{1.0, -3.75, 1e20, -0.015625} {
+		d := Decompose(v)
+		z := new(big.Int).SetUint64(d.Mant)
+		if d.Neg {
+			z.Neg(z)
+		}
+		for _, m := range []RoundingMode{TowardNegInf, NearestEven, TowardPosInf, TowardZero} {
+			if got := RoundBig(z, d.Exp-52, m); got != v {
+				t.Errorf("RoundBig exact %g mode %v = %g", v, m, got)
+			}
+		}
+	}
+}
+
+func TestRoundBigDirected(t *testing.T) {
+	// z = 2^53 + 1 cannot be represented; check each mode's direction.
+	z := new(big.Int).Lsh(big.NewInt(1), 53)
+	z.Add(z, big.NewInt(1))
+	lo := math.Ldexp(1, 53)     // 2^53
+	hi := math.Ldexp(1, 53) + 2 // next representable
+	if got := RoundBig(z, 0, TowardNegInf); got != lo {
+		t.Errorf("TowardNegInf: got %g want %g", got, lo)
+	}
+	if got := RoundBig(z, 0, TowardZero); got != lo {
+		t.Errorf("TowardZero: got %g want %g", got, lo)
+	}
+	if got := RoundBig(z, 0, TowardPosInf); got != hi {
+		t.Errorf("TowardPosInf: got %g want %g", got, hi)
+	}
+	if got := RoundBig(z, 0, NearestEven); got != lo { // tie to even
+		t.Errorf("NearestEven: got %g want %g", got, lo)
+	}
+	zn := new(big.Int).Neg(z)
+	if got := RoundBig(zn, 0, TowardNegInf); got != -hi {
+		t.Errorf("neg TowardNegInf: got %g want %g", got, -hi)
+	}
+	if got := RoundBig(zn, 0, TowardZero); got != -lo {
+		t.Errorf("neg TowardZero: got %g want %g", got, -lo)
+	}
+}
+
+func TestRoundBigOverflowToInf(t *testing.T) {
+	z := big.NewInt(1)
+	if got := RoundBig(z, 2000, NearestEven); !math.IsInf(got, 1) {
+		t.Errorf("overflow: got %g want +Inf", got)
+	}
+	zn := big.NewInt(-1)
+	if got := RoundBig(zn, 2000, NearestEven); !math.IsInf(got, -1) {
+		t.Errorf("overflow: got %g want -Inf", got)
+	}
+}
+
+func TestRoundBigUnderflow(t *testing.T) {
+	z := big.NewInt(3)
+	got := RoundBig(z, -1074, NearestEven) // 3·2^-1074: denormal territory
+	want := math.Ldexp(3, -1074)
+	if got != want {
+		t.Errorf("denormal: got %g want %g", got, want)
+	}
+	// Below half the smallest denormal rounds to zero (nearest).
+	z2 := big.NewInt(1)
+	if got := RoundBig(z2, -1200, NearestEven); got != 0 {
+		t.Errorf("deep underflow: got %g want 0", got)
+	}
+}
+
+// referenceDot computes Σ a_i·x_i exactly and rounds once, the semantics
+// the cluster engine must reproduce.
+func referenceDot(a, x []float64, mode RoundingMode) float64 {
+	sum := new(big.Float).SetPrec(4096)
+	t := new(big.Float).SetPrec(4096)
+	for i := range a {
+		t.SetPrec(4096).SetFloat64(a[i])
+		t.Mul(t, new(big.Float).SetPrec(4096).SetFloat64(x[i]))
+		sum.Add(sum, t)
+	}
+	out := new(big.Float).SetPrec(53).SetMode(mode.bigMode())
+	out.Set(sum)
+	v, _ := out.Float64()
+	return v
+}
+
+func TestRoundBigMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for n := 0; n < 200; n++ {
+		lo := big.NewInt(rng.Int63n(1 << 40))
+		width := big.NewInt(rng.Int63n(1 << 20))
+		hi := new(big.Int).Add(lo, width)
+		v, ok := RoundBigMonotone(lo, hi, -20, NearestEven)
+		if !ok {
+			continue
+		}
+		// Sample interior points; all must round to v.
+		for s := 0; s < 5; s++ {
+			mid := new(big.Int).Add(lo, big.NewInt(rng.Int63n(width.Int64()+1)))
+			if got := RoundBig(mid, -20, NearestEven); got != v {
+				t.Fatalf("monotone violation: interval [%v,%v] settled to %g but %v rounds to %g",
+					lo, hi, v, mid, got)
+			}
+		}
+	}
+}
+
+// Cross-validation: core's rounder and the softfp package's rounder are
+// independent implementations of IEEE binary64 rounding; they must agree
+// bit for bit on random exact values in every mode.
+func TestRoundBigMatchesSoftFP(t *testing.T) {
+	modes := map[RoundingMode]softfp.Rounding{
+		NearestEven:  softfp.NearestEven,
+		TowardZero:   softfp.TowardZero,
+		TowardPosInf: softfp.TowardPosInf,
+		TowardNegInf: softfp.TowardNegInf,
+	}
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 2000; trial++ {
+		z := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), uint(1+rng.Intn(160))))
+		if rng.Intn(2) == 0 {
+			z.Neg(z)
+		}
+		scale := rng.Intn(2300) - 1250 // spans overflow, normals, subnormals
+		for cm, sm := range modes {
+			a := RoundBig(z, scale, cm)
+			b, _ := softfp.Round(z, scale, sm)
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("mode %v: RoundBig(%v, %d) = %x, softfp = %x",
+					cm, z, scale, math.Float64bits(a), math.Float64bits(b))
+			}
+		}
+	}
+}

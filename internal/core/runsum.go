@@ -1,0 +1,84 @@
+package core
+
+import "math/big"
+
+// This file implements the running-sum analysis of §IV-B (Figures 4-5):
+// the decomposition of a partial-product accumulation into aligned,
+// carry, barrier, and stable regions, and the early-termination criteria
+// built on it.
+//
+// The engine's operational criterion is the interval test
+// (IntervalSettled): accumulation may stop once every possible completion
+// of the running sum rounds to the same double. Because IEEE rounding is
+// monotone, it suffices to check the two interval endpoints. For the
+// non-negative partial-product streams the paper illustrates, the Fig-5
+// region criterion (RegionSettled) implies the interval criterion; a
+// property test in this package verifies that containment.
+
+// Regions is the Fig-5 decomposition of a non-negative running sum, given
+// that all remaining partial products sum to less than 2^overlapBits
+// plus at most one carry out of the aligned region.
+type Regions struct {
+	// LeadingBit is the bit position of the running sum's leading 1
+	// (-1 when the sum is zero).
+	LeadingBit int
+	// AlignedBits is the width of the aligned region: low-order bits that
+	// remaining partial products still overlap.
+	AlignedBits int
+	// CarryLen is the length of the run of 1s immediately above the
+	// aligned region, through which a single carry could propagate.
+	CarryLen int
+	// BarrierBit is the position of the 0 that absorbs the potential
+	// carry, or -1 if no barrier exists below the mantissa.
+	BarrierBit int
+	// Settled reports whether the full mantissa lies in the stable region.
+	Settled bool
+}
+
+// AnalyzeRegions decomposes a non-negative running sum. overlapBits is
+// the bit width that remaining partial products can still reach
+// (i.e. remaining sum < 2^overlapBits); mantBits is the mantissa length
+// that must settle (53, or 56 when guard bits for directed rounding
+// modes other than truncation are required, §IV-D).
+func AnalyzeRegions(r *big.Int, overlapBits, mantBits int) Regions {
+	if r.Sign() < 0 {
+		panic("core: AnalyzeRegions requires a non-negative running sum")
+	}
+	reg := Regions{LeadingBit: r.BitLen() - 1, AlignedBits: overlapBits, BarrierBit: -1}
+	if reg.LeadingBit < 0 {
+		return reg
+	}
+	mantLow := reg.LeadingBit - mantBits + 1
+	if mantLow <= overlapBits {
+		// The mantissa still overlaps future partial products.
+		return reg
+	}
+	// Scan upward from the aligned region for the carry chain and barrier.
+	p := overlapBits
+	for p < mantLow && r.Bit(p) == 1 {
+		p++
+	}
+	reg.CarryLen = p - overlapBits
+	if p < mantLow {
+		reg.BarrierBit = p
+		reg.Settled = true
+	}
+	return reg
+}
+
+// RegionSettled is the paper's termination test for non-negative streams:
+// the mantissa has cleared the overlap with remaining partial products
+// and a barrier 0 below it will absorb the single possible carry.
+func RegionSettled(r *big.Int, overlapBits, mantBits int) bool {
+	return AnalyzeRegions(r, overlapBits, mantBits).Settled
+}
+
+// IntervalSettled is the engine's rigorous termination test: with the
+// final sum known to lie in [r+lo, r+hi] (scaled by 2^scale), it settles
+// iff both endpoints round to the same double under the selected mode.
+// It returns that double when settled.
+func IntervalSettled(r, lo, hi *big.Int, scale int, mode RoundingMode) (float64, bool) {
+	a := new(big.Int).Add(r, lo)
+	b := new(big.Int).Add(r, hi)
+	return RoundBigMonotone(a, b, scale, mode)
+}

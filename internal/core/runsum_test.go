@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAnalyzeRegionsFig5(t *testing.T) {
+	// Fig. 5 shape: stable | barrier 0 | carry 1s | aligned.
+	// Running sum: 1011 0 111 0110 (binary, 12 bits), aligned region 4 bits,
+	// mantissa 4 bits.
+	r, _ := new(big.Int).SetString("101101110110", 2)
+	reg := AnalyzeRegions(r, 4, 4)
+	if !reg.Settled {
+		t.Fatalf("should settle: %+v", reg)
+	}
+	if reg.CarryLen != 3 || reg.BarrierBit != 7 {
+		t.Errorf("carry %d barrier %d", reg.CarryLen, reg.BarrierBit)
+	}
+}
+
+func TestAnalyzeRegionsNoBarrier(t *testing.T) {
+	// All ones between aligned region and mantissa: carry could ripple in.
+	r, _ := new(big.Int).SetString("10111111", 2) // leading 1 at bit 7
+	reg := AnalyzeRegions(r, 3, 2)                // mantissa bits 7..6, low region 0..2
+	if reg.Settled {
+		t.Errorf("no barrier yet settled: %+v", reg)
+	}
+}
+
+func TestAnalyzeRegionsMantissaOverlapsAligned(t *testing.T) {
+	r := big.NewInt(0b1011)
+	reg := AnalyzeRegions(r, 3, 4) // mantissa reaches bit 0 < aligned top
+	if reg.Settled {
+		t.Error("overlapping mantissa must not settle")
+	}
+}
+
+func TestAnalyzeRegionsZero(t *testing.T) {
+	reg := AnalyzeRegions(new(big.Int), 4, 53)
+	if reg.Settled || reg.LeadingBit != -1 {
+		t.Errorf("zero sum: %+v", reg)
+	}
+}
+
+func TestAnalyzeRegionsNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	AnalyzeRegions(big.NewInt(-1), 1, 1)
+}
+
+// Property (§IV-B soundness): for non-negative partial streams, whenever
+// the Fig. 5 region criterion says "settled", completing the accumulation
+// with any admissible remainder cannot change the truncated mantissa —
+// i.e. the region criterion implies the interval criterion.
+func TestRegionImpliesInterval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), 80))
+		overlap := rng.Intn(40)
+		mant := 4 + rng.Intn(53)
+		if !RegionSettled(r, overlap, mant) {
+			return true
+		}
+		// Remainder bound: the paper's premise is that remaining partials
+		// sum below 2^overlap (one potential carry out of the aligned
+		// region).
+		hi := new(big.Int).Lsh(big.NewInt(1), uint(overlap))
+		hi.Sub(hi, big.NewInt(1))
+		lo := new(big.Int)
+		// Check at mantissa precision: round to mant bits.
+		a := new(big.Int).Add(r, lo)
+		b := new(big.Int).Add(r, hi)
+		// Truncate both to mant bits below the leading one of r.
+		cut := uint(r.BitLen() - mant)
+		ta := new(big.Int).Rsh(a, cut)
+		tb := new(big.Int).Rsh(b, cut)
+		return ta.Cmp(tb) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalSettled(t *testing.T) {
+	// A one-sided interval above an exactly representable value settles
+	// under truncation; a two-sided one straddles the boundary and must
+	// not (toward −∞ is discontinuous exactly at representable values).
+	r := new(big.Int).Lsh(big.NewInt(3), 60) // 3·2^60
+	v, ok := IntervalSettled(r, big.NewInt(0), big.NewInt(100), -60, TowardNegInf)
+	if !ok || v != 3 {
+		t.Fatalf("settled=%v v=%g", ok, v)
+	}
+	if _, ok := IntervalSettled(r, big.NewInt(-100), big.NewInt(100), -60, TowardNegInf); ok {
+		t.Error("boundary-straddling interval settled under truncation")
+	}
+	if v, ok := IntervalSettled(r, big.NewInt(-100), big.NewInt(100), -60, NearestEven); !ok || v != 3 {
+		t.Errorf("nearest-even should settle across a tiny symmetric interval: %v %g", ok, v)
+	}
+	// Interval straddling a representable boundary must not settle.
+	r2 := new(big.Int).Lsh(big.NewInt(1), 54) // 2^54: ulp is 4
+	v2lo := big.NewInt(-1)
+	v2hi := big.NewInt(1)
+	if _, ok := IntervalSettled(r2, v2lo, v2hi, 0, TowardNegInf); ok {
+		_ = v2lo
+		t.Error("boundary-straddling interval settled")
+	}
+}

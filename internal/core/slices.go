@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"memsci/internal/xbar"
+)
+
+// DefaultVectorMaxPad is the default cap on vector-segment alignment
+// padding. The full double-precision exponent span would need 2046 pad
+// bits (§IV-A); real vector segments exhibit the same range locality as
+// matrix blocks, and early termination makes the occasional wide segment
+// cheap, so the engine simply allows it.
+const DefaultVectorMaxPad = 2100
+
+// VectorSlices is a vector segment aligned to a shared exponent and cut
+// into binary bit slices, the form in which the cluster's input vector
+// buffer feeds the crossbars (§III-A). Negative elements are carried in
+// two's complement: slice Width-1 is the sign slice with weight
+// −2^(Width−1); every other slice j has weight +2^j.
+type VectorSlices struct {
+	Code  BlockCode
+	N     int
+	Width int // two's complement width = Code.Width + 1 (0 for all-zero)
+	// Slices[j] holds bit j of each element's two's complement encoding;
+	// Pop[j] is its popcount (used for de-biasing, §IV-C).
+	Slices []*xbar.Bitmap
+	Pop    []int
+	// Ints are the signed aligned integers (reference values for tests
+	// and for the local processor path).
+	Ints []*big.Int
+}
+
+// SliceVector aligns and slices a vector segment. maxPad bounds the
+// exponent spread (use DefaultVectorMaxPad unless modeling a hardware
+// buffer limit).
+func SliceVector(vals []float64, maxPad int) (*VectorSlices, error) {
+	code, err := NewBlockCode(vals, maxPad)
+	if err != nil {
+		return nil, fmt.Errorf("vector segment: %w", err)
+	}
+	vs := &VectorSlices{Code: code, N: len(vals)}
+	vs.Ints = make([]*big.Int, len(vals))
+	for i, v := range vals {
+		if code.Empty {
+			vs.Ints[i] = new(big.Int)
+		} else {
+			vs.Ints[i] = code.Encode(v)
+		}
+	}
+	if code.Empty {
+		return vs, nil
+	}
+	vs.Width = code.Width + 1
+	vs.Slices = make([]*xbar.Bitmap, vs.Width)
+	vs.Pop = make([]int, vs.Width)
+	// Two's complement: T = F mod 2^Width (adds 2^Width to negatives).
+	mod := new(big.Int).Lsh(big.NewInt(1), uint(vs.Width))
+	for j := range vs.Slices {
+		vs.Slices[j] = xbar.NewBitmap(len(vals))
+	}
+	t := new(big.Int)
+	for i, f := range vs.Ints {
+		t.Set(f)
+		if t.Sign() < 0 {
+			t.Add(t, mod)
+		}
+		for j := 0; j < vs.Width; j++ {
+			if t.Bit(j) == 1 {
+				vs.Slices[j].Set(i, true)
+				vs.Pop[j]++
+			}
+		}
+	}
+	return vs, nil
+}
+
+// Weight returns the signed weight of slice j as w·2^j with w ∈ {+1, −1}:
+// the sign slice (j = Width−1) carries −2^j.
+func (vs *VectorSlices) Weight(j int) (negative bool) {
+	return j == vs.Width-1
+}
+
+// RemainingWeight returns Σ_{j' < j} 2^j' = 2^j − 1, the total positive
+// weight of the slices strictly below j. Slices are processed from the
+// sign slice downward, so after processing slice j this bounds what is
+// left. (All remaining weights are positive because only the first slice
+// is negative.)
+func RemainingWeight(j int) *big.Int {
+	w := new(big.Int).Lsh(big.NewInt(1), uint(j))
+	return w.Sub(w, big.NewInt(1))
+}

@@ -1,0 +1,191 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTaOxParams(t *testing.T) {
+	p := TaOx()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.DynamicRange != 1500 {
+		t.Errorf("Roff/Ron = %g, Table I gives 3MΩ/2kΩ = 1500", p.DynamicRange)
+	}
+	if p.Roff/p.Ron != p.DynamicRange {
+		t.Errorf("resistances inconsistent with dynamic range")
+	}
+	if p.Levels() != 2 {
+		t.Errorf("Levels = %d", p.Levels())
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.BitsPerCell = 0 },
+		func(p *Params) { p.BitsPerCell = 5 },
+		func(p *Params) { p.DynamicRange = 1 },
+		func(p *Params) { p.ProgError = -0.1 },
+		func(p *Params) { p.ProgError = 0.9 },
+	}
+	for i, mut := range cases {
+		p := TaOx()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d not rejected", i)
+		}
+	}
+}
+
+func TestPerturbCountNoErrorSources(t *testing.T) {
+	p := TaOx()
+	p.LeakFluctuation = 0
+	p.ProgError = 0
+	arr := NewArray(p, 1)
+	for _, c := range []struct{ onSum, on, off int }{
+		{0, 0, 0}, {5, 5, 100}, {30, 30, 400},
+	} {
+		if got := arr.PerturbCount(c.onSum, c.on, c.off); got != c.onSum {
+			t.Errorf("PerturbCount(%v) = %d", c, got)
+		}
+	}
+}
+
+func TestPerturbCountDeterministicSeed(t *testing.T) {
+	p := TaOx()
+	p.ProgError = 0.05
+	a1 := NewArray(p, 42)
+	a2 := NewArray(p, 42)
+	for i := 0; i < 50; i++ {
+		if a1.PerturbCount(20, 20, 100) != a2.PerturbCount(20, 20, 100) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestPerturbCountBounds(t *testing.T) {
+	p := TaOx()
+	p.ProgError = 0.5
+	p.LeakFluctuation = 0.5
+	arr := NewArray(p, 7)
+	for i := 0; i < 1000; i++ {
+		q := arr.PerturbCount(3, 3, 60)
+		if q < 0 || q > 63 {
+			t.Fatalf("count %d outside [0, 63]", q)
+		}
+	}
+}
+
+func TestLeakFluctuationScalesWithRange(t *testing.T) {
+	// Lower dynamic range must produce more frequent read errors at the
+	// same column population — the Fig. 12 mechanism.
+	count := func(rangeVal float64) int {
+		p := TaOx()
+		p.BitsPerCell = 2
+		p.DynamicRange = rangeVal
+		arr := NewArray(p, 3)
+		errs := 0
+		for i := 0; i < 2000; i++ {
+			if arr.PerturbCount(10, 5, 250) != 10 {
+				errs++
+			}
+		}
+		return errs
+	}
+	low, high := count(750), count(3000)
+	if low <= high {
+		t.Errorf("errors at range 750 (%d) not worse than at 3000 (%d)", low, high)
+	}
+	if high > 100 {
+		t.Errorf("range 3000 too noisy: %d/2000", high)
+	}
+}
+
+func TestProgErrorScalesWithBits(t *testing.T) {
+	// Same programming precision hurts multi-bit cells more (§VIII-G).
+	count := func(bits int) int {
+		p := TaOx()
+		p.BitsPerCell = bits
+		p.ProgError = 0.05
+		p.LeakFluctuation = 0
+		arr := NewArray(p, 5)
+		errs := 0
+		for i := 0; i < 2000; i++ {
+			if arr.PerturbCount(12, 12, 0) != 12 {
+				errs++
+			}
+		}
+		return errs
+	}
+	if b1, b2 := count(1), count(2); b2 <= b1 {
+		t.Errorf("2-bit errors (%d) not worse than 1-bit (%d)", b2, b1)
+	}
+}
+
+func TestColumnErrorProbability(t *testing.T) {
+	p := TaOx()
+	// Design point: modest population, range 1500 → tiny probability.
+	if pr := p.ColumnErrorProbability(10, 10, 250); pr > 0.01 {
+		t.Errorf("design-point error probability %g too high", pr)
+	}
+	// 2-bit at range 750 with many off cells → significant.
+	p2 := TaOx()
+	p2.BitsPerCell = 2
+	p2.DynamicRange = 750
+	if pr := p2.ColumnErrorProbability(10, 5, 250); pr < 0.05 {
+		t.Errorf("stressed error probability %g too low", pr)
+	}
+	// No error sources at all.
+	p3 := TaOx()
+	p3.LeakFluctuation = 0
+	if pr := p3.ColumnErrorProbability(10, 10, 1000); pr != 0 {
+		t.Errorf("no-source probability %g", pr)
+	}
+}
+
+func TestColumnErrorProbabilityMonotoneInOffCells(t *testing.T) {
+	p := TaOx()
+	p.BitsPerCell = 2
+	p.DynamicRange = 750
+	prev := -1.0
+	for _, off := range []int{10, 50, 100, 200, 400} {
+		pr := p.ColumnErrorProbability(10, 5, off)
+		if pr < prev {
+			t.Fatalf("probability not monotone in off cells: %g after %g", pr, prev)
+		}
+		prev = pr
+	}
+}
+
+func TestMaxSafeRows(t *testing.T) {
+	p := TaOx()
+	safe := p.MaxSafeRows()
+	// The paper caps blocks at 512×512 for this cell (§IV-E): the safe
+	// bound must accommodate 512 but not be orders of magnitude larger.
+	if safe < 512 || safe > 4096 {
+		t.Errorf("MaxSafeRows = %d, expected to justify the 512 cap", safe)
+	}
+	p2 := p
+	p2.BitsPerCell = 2
+	if p2.MaxSafeRows() >= safe {
+		t.Errorf("2-bit cells should have a smaller safe size")
+	}
+	p3 := p
+	p3.DynamicRange = math.Inf(1)
+	if p3.MaxSafeRows() < 1<<30 {
+		t.Errorf("infinite range should be unbounded")
+	}
+}
+
+func TestIdeal(t *testing.T) {
+	p := TaOx()
+	if p.Ideal() {
+		t.Error("finite range is not ideal")
+	}
+	p.DynamicRange = math.Inf(1)
+	p.ProgError = 0
+	if !p.Ideal() {
+		t.Error("infinite range + no prog error should be ideal")
+	}
+}

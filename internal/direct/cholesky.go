@@ -1,0 +1,284 @@
+// Package direct implements sparse direct solution (Cholesky
+// factorization with optional reverse Cuthill-McKee reordering) for
+// symmetric positive definite systems. The paper's §II-B motivates the
+// accelerator's focus on *iterative* Krylov methods by the fill-in of
+// direct factorizations — "zero entries become non-zeroes; this increases
+// the memory footprint" — and this package quantifies that argument for
+// the evaluated matrices (the `experiments -run direct` comparison).
+package direct
+
+import (
+	"fmt"
+	"math"
+
+	"memsci/internal/sparse"
+)
+
+// Factor is a sparse Cholesky factorization P·A·Pᵀ = L·Lᵀ stored
+// column-wise.
+type Factor struct {
+	n int
+	// Column-compressed L (including the diagonal as the first entry of
+	// each column).
+	colPtr []int
+	rowIdx []int
+	vals   []float64
+	// perm maps original index → factor index; iperm the inverse.
+	perm, iperm []int
+}
+
+// Ordering selects the fill-reducing permutation.
+type Ordering int
+
+const (
+	// Natural keeps the input ordering.
+	Natural Ordering = iota
+	// RCM applies reverse Cuthill-McKee (bandwidth-reducing) ordering.
+	RCM
+)
+
+// Cholesky factors an SPD matrix. It returns an error if the matrix is
+// not square, not structurally symmetric, or not positive definite.
+func Cholesky(a *sparse.CSR, ord Ordering) (*Factor, error) {
+	n := a.Rows()
+	if n != a.Cols() {
+		return nil, fmt.Errorf("direct: matrix is %s, need square", a.Dims())
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	if ord == RCM {
+		perm = rcmOrder(a)
+	}
+	iperm := make([]int, n)
+	for i, p := range perm {
+		iperm[p] = i
+	}
+
+	// Permuted upper-triangle adjacency: for factor column k, the row
+	// indices i < k with A'(i,k) ≠ 0 (A' = P·A·Pᵀ).
+	upper := make([][]int, n)
+	upperVal := make([][]float64, n)
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		pi := iperm[i]
+		cols, vals := a.Row(i)
+		for t, j := range cols {
+			pj := iperm[j]
+			switch {
+			case pj == pi:
+				diag[pi] = vals[t]
+			case pj > pi:
+				upper[pj] = append(upper[pj], pi)
+				upperVal[pj] = append(upperVal[pj], vals[t])
+			}
+		}
+	}
+
+	f := &Factor{n: n, perm: perm, iperm: iperm}
+
+	// Elimination tree (Liu): for each k, walk the ancestor chains of the
+	// upper-pattern entries with path compression.
+	parent := make([]int, n)
+	ancestor := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+		ancestor[i] = -1
+	}
+	for k := 0; k < n; k++ {
+		for _, i := range upper[k] {
+			for t := i; t != -1 && t < k; {
+				next := ancestor[t]
+				ancestor[t] = k
+				if next == -1 {
+					parent[t] = k
+				}
+				t = next
+			}
+		}
+	}
+
+	// Up-looking Cholesky: build L row by row; L stored column-wise with
+	// growing columns.
+	colRows := make([][]int, n)
+	colVals := make([][]float64, n)
+	mark := make([]int, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	x := make([]float64, n)
+	pattern := make([]int, 0, n)
+
+	for k := 0; k < n; k++ {
+		// Symbolic: reach of A(0:k-1, k) in the elimination tree gives the
+		// nonzero pattern of row k of L.
+		pattern = pattern[:0]
+		for _, i := range upper[k] {
+			for t := i; t != -1 && t < k && mark[t] != k; t = parent[t] {
+				pattern = append(pattern, t)
+				mark[t] = k
+			}
+		}
+		// Ascending index order is a topological order here: every update
+		// to x[j] comes from a column j' < j.
+		sortInts(pattern)
+
+		// Numeric scatter of the permuted A(0:k-1, k).
+		for t, i := range upper[k] {
+			x[i] = upperVal[k][t]
+		}
+		d := diag[k]
+		for _, j := range pattern {
+			lkj := x[j] / colVals[j][0]
+			x[j] = 0
+			rows := colRows[j]
+			vals := colVals[j]
+			for p := 1; p < len(rows); p++ {
+				if rows[p] < k {
+					x[rows[p]] -= vals[p] * lkj
+				}
+			}
+			d -= lkj * lkj
+			colRows[j] = append(colRows[j], k)
+			colVals[j] = append(colVals[j], lkj)
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("direct: not positive definite at pivot %d (d=%g)", k, d)
+		}
+		colRows[k] = append(colRows[k], k)
+		colVals[k] = append(colVals[k], math.Sqrt(d))
+	}
+
+	// Pack column-compressed storage.
+	nnz := 0
+	for k := 0; k < n; k++ {
+		nnz += len(colRows[k])
+	}
+	f.colPtr = make([]int, n+1)
+	f.rowIdx = make([]int, 0, nnz)
+	f.vals = make([]float64, 0, nnz)
+	for k := 0; k < n; k++ {
+		f.colPtr[k] = len(f.rowIdx)
+		f.rowIdx = append(f.rowIdx, colRows[k]...)
+		f.vals = append(f.vals, colVals[k]...)
+	}
+	f.colPtr[n] = len(f.rowIdx)
+	return f, nil
+}
+
+// NNZ returns the nonzeros of L (including the diagonal).
+func (f *Factor) NNZ() int { return len(f.vals) }
+
+// FillIn returns nnz(L)/nnz(tril(A)): the §II-B memory-blowup factor (1
+// means no fill).
+func FillIn(a *sparse.CSR, f *Factor) float64 {
+	lower := 0
+	for i := 0; i < a.Rows(); i++ {
+		cols, _ := a.Row(i)
+		for _, j := range cols {
+			if j <= i {
+				lower++
+			}
+		}
+	}
+	if lower == 0 {
+		return 0
+	}
+	return float64(f.NNZ()) / float64(lower)
+}
+
+// Solve computes x with A·x = b via forward and backward substitution.
+func (f *Factor) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.n {
+		return nil, fmt.Errorf("direct: rhs length %d, need %d", len(b), f.n)
+	}
+	// Permute: z = P·b.
+	z := make([]float64, f.n)
+	for i, v := range b {
+		z[f.iperm[i]] = v
+	}
+	// Forward: L·y = z (columns ascending).
+	for j := 0; j < f.n; j++ {
+		start, end := f.colPtr[j], f.colPtr[j+1]
+		z[j] /= f.vals[start]
+		yj := z[j]
+		for p := start + 1; p < end; p++ {
+			z[f.rowIdx[p]] -= f.vals[p] * yj
+		}
+	}
+	// Backward: Lᵀ·w = y (columns descending).
+	for j := f.n - 1; j >= 0; j-- {
+		start, end := f.colPtr[j], f.colPtr[j+1]
+		sum := z[j]
+		for p := start + 1; p < end; p++ {
+			sum -= f.vals[p] * z[f.rowIdx[p]]
+		}
+		z[j] = sum / f.vals[start]
+	}
+	// Unpermute: x = Pᵀ·w.
+	x := make([]float64, f.n)
+	for i := range x {
+		x[i] = z[f.iperm[i]]
+	}
+	return x, nil
+}
+
+// rcmOrder computes the reverse Cuthill-McKee permutation: BFS from a
+// minimum-degree start, neighbors visited in increasing degree, result
+// reversed. Returns perm with perm[newIndex] = oldIndex.
+func rcmOrder(a *sparse.CSR) []int {
+	n := a.Rows()
+	deg := make([]int, n)
+	for i := 0; i < n; i++ {
+		deg[i] = a.RowNNZ(i)
+	}
+	visited := make([]bool, n)
+	order := make([]int, 0, n)
+	queue := make([]int, 0, n)
+
+	for len(order) < n {
+		// Unvisited node of minimum degree starts the next component.
+		start, best := -1, 1<<30
+		for i := 0; i < n; i++ {
+			if !visited[i] && deg[i] < best {
+				start, best = i, deg[i]
+			}
+		}
+		visited[start] = true
+		queue = append(queue[:0], start)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			cols, _ := a.Row(v)
+			nbrs := make([]int, 0, len(cols))
+			for _, j := range cols {
+				if j != v && !visited[j] {
+					visited[j] = true
+					nbrs = append(nbrs, j)
+				}
+			}
+			// Increasing degree.
+			for i := 1; i < len(nbrs); i++ {
+				for k := i; k > 0 && deg[nbrs[k]] < deg[nbrs[k-1]]; k-- {
+					nbrs[k], nbrs[k-1] = nbrs[k-1], nbrs[k]
+				}
+			}
+			queue = append(queue, nbrs...)
+		}
+	}
+	// Reverse.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package direct
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"memsci/internal/matgen"
+	"memsci/internal/solver"
+	"memsci/internal/sparse"
+)
+
+// randSPD builds a random sparse SPD matrix (diagonally dominant,
+// symmetric pattern).
+func randSPD(n int, perRow float64, seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	m := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		k := int(perRow / 2)
+		for c := 0; c < k; c++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			m.AddSym(i, j, -(0.1 + rng.Float64()))
+		}
+	}
+	m.Compact()
+	c := m.ToCSR()
+	// Dominant diagonal.
+	co := c.ToCOO()
+	for i := 0; i < n; i++ {
+		var off float64
+		cols, vals := c.Row(i)
+		for t, j := range cols {
+			if j != i {
+				off += math.Abs(vals[t])
+			}
+		}
+		co.Add(i, i, off*1.1+1)
+	}
+	return co.ToCSR()
+}
+
+func poisson1D(n int) *sparse.CSR {
+	m := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		m.Add(i, i, 2)
+		if i > 0 {
+			m.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			m.Add(i, i+1, -1)
+		}
+	}
+	return m.ToCSR()
+}
+
+func TestCholeskySolvesPoisson(t *testing.T) {
+	n := 200
+	a := poisson1D(n)
+	for _, ord := range []Ordering{Natural, RCM} {
+		f, err := Cholesky(a, ord)
+		if err != nil {
+			t.Fatalf("ordering %d: %v", ord, err)
+		}
+		b := sparse.Ones(n)
+		x, err := f.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := sparse.Residual(a, x, b)
+		if rn := sparse.Norm2(r) / sparse.Norm2(b); rn > 1e-12 {
+			t.Errorf("ordering %d: residual %g", ord, rn)
+		}
+	}
+	// Tridiagonal: no fill at all under natural ordering.
+	f, _ := Cholesky(a, Natural)
+	if fill := FillIn(a, f); fill != 1 {
+		t.Errorf("tridiagonal fill-in %g, want 1", fill)
+	}
+}
+
+func TestCholeskyRandomSPD(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(150)
+		a := randSPD(n, 6, seed)
+		fac, err := Cholesky(a, Natural)
+		if err != nil {
+			return false
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := fac.Solve(b)
+		if err != nil {
+			return false
+		}
+		r := sparse.Residual(a, x, b)
+		return sparse.Norm2(r)/math.Max(1e-30, sparse.Norm2(b)) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyMatchesCG(t *testing.T) {
+	a := randSPD(300, 8, 7)
+	b := sparse.Ones(300)
+	f, err := Cholesky(a, RCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xd, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := solver.CG(solver.CSROperator{M: a}, b, solver.Options{Tol: 1e-13, MaxIter: 10000})
+	if err != nil || !res.Converged {
+		t.Fatalf("CG: %v", err)
+	}
+	d := sparse.Sub(xd, res.X)
+	if sparse.Norm2(d)/sparse.Norm2(xd) > 1e-9 {
+		t.Errorf("direct vs CG solutions differ by %g", sparse.Norm2(d)/sparse.Norm2(xd))
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	m := sparse.NewCOO(2, 2)
+	m.Add(0, 0, 1)
+	m.AddSym(0, 1, 5) // 1 5 / 5 1 is indefinite
+	m.Add(1, 1, 1)
+	if _, err := Cholesky(m.ToCSR(), Natural); err == nil {
+		t.Error("indefinite matrix factored")
+	}
+}
+
+func TestCholeskyRejectsNonSquare(t *testing.T) {
+	m := sparse.NewCOO(2, 3)
+	m.Add(0, 0, 1)
+	if _, err := Cholesky(m.ToCSR(), Natural); err == nil {
+		t.Error("non-square accepted")
+	}
+}
+
+// The §II-B fill-in argument: FEM-class matrices fill substantially under
+// factorization, and RCM reduces (or at least does not worsen) it.
+func TestFillInDemonstratesPaperArgument(t *testing.T) {
+	spec, err := matgen.ByName("qa8fm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := spec.GenerateScaled(0.015) // ~1000 rows
+	nat, err := Cholesky(a, Natural)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillNat := FillIn(a, nat)
+	if fillNat < 1.5 {
+		t.Errorf("FEM fill-in %.2f too small to motivate iterative methods", fillNat)
+	}
+	rcm, err := Cholesky(a, RCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillRCM := FillIn(a, rcm)
+	t.Logf("fill-in: natural %.2fx, RCM %.2fx", fillNat, fillRCM)
+	// Both factors must solve correctly.
+	b := sparse.Ones(a.Rows())
+	for _, f := range []*Factor{nat, rcm} {
+		x, err := f.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rn := sparse.Norm2(sparse.Residual(a, x, b)) / sparse.Norm2(b); rn > 1e-10 {
+			t.Errorf("residual %g", rn)
+		}
+	}
+}
+
+func TestRCMReducesBandwidth(t *testing.T) {
+	// A permuted banded matrix: RCM should recover a small bandwidth.
+	n := 300
+	rng := rand.New(rand.NewSource(11))
+	perm := rng.Perm(n)
+	m := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		m.Add(perm[i], perm[i], 4)
+		if i > 0 {
+			v := -1.0
+			m.Add(perm[i], perm[i-1], v)
+			m.Add(perm[i-1], perm[i], v)
+		}
+	}
+	a := m.ToCSR()
+	order := rcmOrder(a)
+	pos := make([]int, n)
+	for newIdx, old := range order {
+		pos[old] = newIdx
+	}
+	bw := 0
+	for i := 0; i < n; i++ {
+		cols, _ := a.Row(i)
+		for _, j := range cols {
+			if d := pos[i] - pos[j]; d > bw {
+				bw = d
+			} else if -d > bw {
+				bw = -d
+			}
+		}
+	}
+	if bw > 8 {
+		t.Errorf("RCM bandwidth %d on a scrambled chain (want small)", bw)
+	}
+}
+
+func TestSolveRHSMismatch(t *testing.T) {
+	f, err := Cholesky(poisson1D(5), Natural)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve(make([]float64, 4)); err == nil {
+		t.Error("rhs mismatch accepted")
+	}
+}

@@ -1,0 +1,303 @@
+// Package energy provides the closed-form area, energy, and latency
+// models of the accelerator's components (§V, §VII-A, Tables I and III).
+// The four standard crossbar sizes are anchored exactly to the paper's
+// Table III; other sizes use the scaling laws of §V-A: conversion time ∝
+// M (pipelined, one column per 1.2 GHz cycle), ADC energy ∝ N·log₂N,
+// crossbar+driver area ∝ M(M+N), ADC area ∝ N.
+package energy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config carries the system-level constants of Table I plus the derived
+// modeling constants used throughout the evaluation.
+type Config struct {
+	// ClockHz is the ADC/reduction clock (1.2 GHz, Table I).
+	ClockHz float64
+	// Banks is the bank count (128, Table I).
+	Banks int
+	// ClustersPerBank maps crossbar size to cluster count per bank
+	// (Table I: 2×512, 4×256, 6×128, 8×64).
+	ClustersPerBank map[int]int
+	// PlanesPerCluster is the bit-slice crossbar count (127, §III-B).
+	PlanesPerCluster int
+	// VectorSection is the solution-vector span owned by each bank
+	// (1200 elements, §VI).
+	VectorSection int
+
+	// CellWriteEnergy and CellWriteTime are per-cell programming costs
+	// (Table I: 3.91 nJ, 50.88 ns).
+	CellWriteEnergy float64
+	CellWriteTime   float64
+	// CellEndurance is the write endurance (1e9 conservative, §VIII-E).
+	CellEndurance float64
+
+	// LocalCyclesPerNNZ models the LEON3 local processor's CSR
+	// multiply-accumulate cost per unblocked nonzero with good vector
+	// locality (load, FMA, near-diagonal gather from the bank buffer).
+	LocalCyclesPerNNZ float64
+	// LocalGatherCycles is the additional per-nonzero cost when the
+	// column index is far from the diagonal: the x[j] fetch becomes a
+	// contended global-memory round trip. The effective cost is
+	// LocalCyclesPerNNZ + scatterFraction·LocalGatherCycles — the reason
+	// unblockable (scattered) matrices are hopeless on the local
+	// processors and fall back to the GPU (§VIII-A).
+	LocalGatherCycles float64
+	// LocalCyclesPerVecElem models AXPY/dot per-element cost.
+	LocalCyclesPerVecElem float64
+	// LocalPower is the active power of one LEON3 core + FMA at 15 nm.
+	LocalPower float64
+	// BarrierTime is the cross-bank barrier synchronization cost (§VI).
+	BarrierTime float64
+	// GlobalMemBytesPerSec is the global memory buffer bandwidth for
+	// cross-bank vector exchange.
+	GlobalMemBytesPerSec float64
+	// GlobalMemEnergyPerByte is eDRAM access energy.
+	GlobalMemEnergyPerByte float64
+
+	// StaticPower is the whole-accelerator background power.
+	StaticPower float64
+
+	// ADCShareOfOpEnergy splits Table III's per-op energy between the
+	// ADC (scaled by conversions and headstart) and the array+drivers
+	// (scaled by activations). §VII-A attributes the majority of
+	// convertible energy to the ADC.
+	ADCShareOfOpEnergy float64
+
+	// AreaAnchors maps crossbar size to per-crossbar area (mm², incl.
+	// ADC); EnergyAnchors to per-op energy (J) — Table III.
+	AreaAnchors   map[int]float64
+	EnergyAnchors map[int]float64
+}
+
+// Default returns the Table I configuration.
+func Default() Config {
+	return Config{
+		ClockHz:          1.2e9,
+		Banks:            128,
+		ClustersPerBank:  map[int]int{512: 2, 256: 4, 128: 6, 64: 8},
+		PlanesPerCluster: 127,
+		VectorSection:    1200,
+
+		CellWriteEnergy: 3.91e-9,
+		CellWriteTime:   50.88e-9,
+		CellEndurance:   1e9,
+
+		LocalCyclesPerNNZ:      10,
+		LocalGatherCycles:      20,
+		LocalCyclesPerVecElem:  1,
+		LocalPower:             0.075, // 75 mW LEON3+FMA at 15 nm, 1.2 GHz
+		BarrierTime:            0.5e-6,
+		GlobalMemBytesPerSec:   64e9,
+		GlobalMemEnergyPerByte: 15e-12,
+
+		StaticPower: 40.0,
+
+		ADCShareOfOpEnergy: 0.55,
+
+		AreaAnchors: map[int]float64{
+			64:  0.00078,
+			128: 0.00103,
+			256: 0.00162,
+			512: 0.00352,
+		},
+		EnergyAnchors: map[int]float64{
+			64:  28.0e-12,
+			128: 65.2e-12,
+			256: 150e-12,
+			512: 342e-12,
+		},
+	}
+}
+
+// XbarOpLatency is the latency of one crossbar operation (one vector bit
+// slice across all N columns), Table III: N cycles of the pipelined ADC.
+func (c Config) XbarOpLatency(size int) float64 {
+	return float64(size) / c.ClockHz
+}
+
+// XbarOpEnergy is the energy of one crossbar operation with every column
+// converted at full resolution (Table III anchor; N·log₂N scaling
+// elsewhere).
+func (c Config) XbarOpEnergy(size int) float64 {
+	if e, ok := c.EnergyAnchors[size]; ok {
+		return e
+	}
+	// Fit through the anchors: E ≈ 0.0729 pJ · N·log₂N.
+	return 0.0729e-12 * float64(size) * math.Log2(float64(size))
+}
+
+// XbarArea is the area of one crossbar including its ADC (Table III
+// anchor; a·N² + b·N + c fit elsewhere).
+func (c Config) XbarArea(size int) float64 {
+	if a, ok := c.AreaAnchors[size]; ok {
+		return a
+	}
+	n := float64(size)
+	return 3.66e-9*n*n + 3.2e-6*n + 5.6e-4
+}
+
+// ADCEnergyPerConversion is the full-resolution energy of one column
+// conversion: the ADC share of the op energy divided over N columns.
+func (c Config) ADCEnergyPerConversion(size int) float64 {
+	return c.ADCShareOfOpEnergy * c.XbarOpEnergy(size) / float64(size)
+}
+
+// ArrayEnergyPerOp is the array+driver share of one crossbar activation.
+func (c Config) ArrayEnergyPerOp(size int) float64 {
+	return (1 - c.ADCShareOfOpEnergy) * c.XbarOpEnergy(size)
+}
+
+// ClusterOpLatency is the latency of applying one vector bit slice in a
+// cluster: all planes run in lockstep, so it equals the crossbar op
+// latency (pipelined across columns).
+func (c Config) ClusterOpLatency(size int) float64 { return c.XbarOpLatency(size) }
+
+// ClusterOpEnergy is the energy of one cluster slice application with
+// all planes active and all columns converted.
+func (c Config) ClusterOpEnergy(size int) float64 {
+	return float64(c.PlanesPerCluster) * c.XbarOpEnergy(size)
+}
+
+// ClusterWriteTime is the time to program one cluster: rows are written
+// one at a time (N row-writes), all planes in parallel (each crossbar has
+// its own drivers).
+func (c Config) ClusterWriteTime(size int) float64 {
+	return float64(size) * c.CellWriteTime
+}
+
+// ClusterWriteEnergy is the energy to program one cluster (every cell of
+// every plane, the conservative §VIII-E assumption).
+func (c Config) ClusterWriteEnergy(size int) float64 {
+	cells := float64(size) * float64(size) * float64(c.PlanesPerCluster)
+	return cells * c.CellWriteEnergy
+}
+
+// LocalNNZTime is the local processor time to stream n unblocked CSR
+// nonzeros whose columns scatter with the given fraction (§VI-A1).
+func (c Config) LocalNNZTime(n int, scatterFrac float64) float64 {
+	cycles := c.LocalCyclesPerNNZ + scatterFrac*c.LocalGatherCycles
+	return float64(n) * cycles / c.ClockHz
+}
+
+// LocalVecTime is the local processor time for an element-wise pass over
+// n vector elements (AXPY or local dot).
+func (c Config) LocalVecTime(n int) float64 {
+	return float64(n) * c.LocalCyclesPerVecElem / c.ClockHz
+}
+
+// ClusterCounts returns the per-bank cluster inventory sorted by
+// descending size.
+func (c Config) ClusterCounts() []struct{ Size, Count int } {
+	out := []struct{ Size, Count int }{}
+	sizes := []int{512, 256, 128, 64}
+	for _, s := range sizes {
+		if n, ok := c.ClustersPerBank[s]; ok {
+			out = append(out, struct{ Size, Count int }{s, n})
+		}
+	}
+	return out
+}
+
+// Area aggregates the system area model of §VIII-C.
+type Area struct {
+	Crossbars   float64 // crossbars + drivers + ADCs (Table III), mm²
+	ClusterMisc float64 // per-cluster SRAM buffers + reduction network
+	Processors  float64 // LEON3 cores + FMA
+	GlobalMem   float64 // eDRAM global buffer
+	Total       float64
+}
+
+// Per-component area constants (15 nm, §VII-A/§VIII-C calibration).
+const (
+	clusterMiscArea = 0.0172 // mm²: vector + partial-result SRAM, reduction tree
+	leonCoreArea    = 0.22   // mm²: LEON3 + FPGen FMA, synthesized at 15 nm
+	bankMemArea     = 0.35   // mm²: per-bank share of eDRAM global memory
+)
+
+// SystemArea computes the full accelerator footprint.
+func (c Config) SystemArea() Area {
+	var a Area
+	clusters := 0
+	for _, cc := range c.ClusterCounts() {
+		a.Crossbars += float64(c.Banks*cc.Count) * float64(c.PlanesPerCluster) * c.XbarArea(cc.Size)
+		clusters += c.Banks * cc.Count
+	}
+	a.ClusterMisc = float64(clusters) * clusterMiscArea
+	a.Processors = float64(c.Banks) * leonCoreArea
+	a.GlobalMem = float64(c.Banks) * bankMemArea
+	a.Total = a.Crossbars + a.ClusterMisc + a.Processors + a.GlobalMem
+	return a
+}
+
+// CrossbarShare returns the crossbar+periphery share of total system
+// area (§VIII-C reports crossbars and periphery as the dominant consumer,
+// 54.1% of cluster area, with the ADC a minority thanks to CIC).
+func (a Area) CrossbarShare() float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	return a.Crossbars / a.Total
+}
+
+// ProcessorShare returns the processors + global memory share of total
+// system area (§VIII-C reports 13.6%).
+func (a Area) ProcessorShare() float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	return (a.Processors + a.GlobalMem) / a.Total
+}
+
+// Validate sanity-checks the configuration.
+func (c Config) Validate() error {
+	if c.ClockHz <= 0 || c.Banks <= 0 || c.PlanesPerCluster <= 0 {
+		return fmt.Errorf("energy: non-positive core parameter")
+	}
+	if len(c.ClustersPerBank) == 0 {
+		return fmt.Errorf("energy: no clusters configured")
+	}
+	return nil
+}
+
+// EnduranceYears estimates system lifetime under the paper's conservative
+// §VIII-E assumptions: every array fully rewritten between solves, one
+// solve of the given duration after another, forever.
+func (c Config) EnduranceYears(solveTime float64) float64 {
+	if solveTime <= 0 {
+		return 0
+	}
+	writesPerSecond := 1 / solveTime
+	lifetimeSeconds := c.CellEndurance / writesPerSecond
+	return lifetimeSeconds / (365.25 * 24 * 3600)
+}
+
+// §V-A scaling laws, stated explicitly for design-space exploration and
+// tested against the Table III anchors. These are shapes (proportional
+// relations), normalized so the 512-point matches the anchor model.
+
+// ADCEnergyLaw is the §V-A ADC relation: total ADC energy per MVM op is
+// proportional to M·N·log₂N (M conversions, each ∝ N·log₂N).
+func ADCEnergyLaw(m, n int) float64 {
+	return float64(m) * float64(n) * math.Log2(float64(n))
+}
+
+// CrossbarEnergyLaw is the §V-A array relation: crossbar energy per op is
+// proportional to (M·N)(M+N)·log₂N — cell count times worst-case RC path
+// times the settling periods resolution demands.
+func CrossbarEnergyLaw(m, n int) float64 {
+	return float64(m) * float64(n) * float64(m+n) * math.Log2(float64(n))
+}
+
+// ADCAreaLaw: ADC area grows ∝ N (exponential in resolution = log₂N).
+func ADCAreaLaw(n int) float64 { return float64(n) }
+
+// CrossbarAreaLaw: driver-dominated crossbar area grows as M(M+N).
+func CrossbarAreaLaw(m, n int) float64 { return float64(m) * float64(m+n) }
+
+// ConversionTimeLaw: total conversion time ∝ M·⌈log₂(N+1)⌉ (§V-A).
+func ConversionTimeLaw(m, n int) float64 {
+	return float64(m) * math.Ceil(math.Log2(float64(n+1)))
+}

@@ -1,0 +1,175 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableIIIAnchors(t *testing.T) {
+	cfg := Default()
+	// Latency: N cycles at 1.2 GHz (Table III: 53.3/107/213/427 ns).
+	latency := map[int]float64{64: 53.3e-9, 128: 106.7e-9, 256: 213.3e-9, 512: 426.7e-9}
+	for size, want := range latency {
+		if got := cfg.XbarOpLatency(size); math.Abs(got-want)/want > 0.01 {
+			t.Errorf("latency(%d) = %.3g want %.3g", size, got, want)
+		}
+	}
+	energy := map[int]float64{64: 28.0e-12, 128: 65.2e-12, 256: 150e-12, 512: 342e-12}
+	for size, want := range energy {
+		if got := cfg.XbarOpEnergy(size); got != want {
+			t.Errorf("energy(%d) = %g want %g", size, got, want)
+		}
+	}
+	area := map[int]float64{64: 0.00078, 128: 0.00103, 256: 0.00162, 512: 0.00352}
+	for size, want := range area {
+		if got := cfg.XbarArea(size); got != want {
+			t.Errorf("area(%d) = %g want %g", size, got, want)
+		}
+	}
+}
+
+func TestScalingLawsOffAnchor(t *testing.T) {
+	cfg := Default()
+	// Non-anchor sizes follow N·log2(N) within a factor of the anchors.
+	e96 := cfg.XbarOpEnergy(96)
+	if e96 <= cfg.XbarOpEnergy(64) || e96 >= cfg.XbarOpEnergy(128) {
+		t.Errorf("energy(96) = %g not between anchors", e96)
+	}
+	a96 := cfg.XbarArea(96)
+	if a96 <= 0 || a96 >= cfg.XbarArea(512) {
+		t.Errorf("area(96) = %g", a96)
+	}
+}
+
+func TestEnergySplit(t *testing.T) {
+	cfg := Default()
+	for _, size := range []int{64, 512} {
+		adc := cfg.ADCEnergyPerConversion(size) * float64(size)
+		arr := cfg.ArrayEnergyPerOp(size)
+		if math.Abs(adc+arr-cfg.XbarOpEnergy(size))/cfg.XbarOpEnergy(size) > 1e-9 {
+			t.Errorf("split does not sum at %d", size)
+		}
+	}
+}
+
+func TestClusterDerived(t *testing.T) {
+	cfg := Default()
+	if cfg.ClusterOpEnergy(512) != 127*cfg.XbarOpEnergy(512) {
+		t.Error("cluster energy must be planes × crossbar energy")
+	}
+	if cfg.ClusterOpLatency(512) != cfg.XbarOpLatency(512) {
+		t.Error("planes run in lockstep: same latency")
+	}
+	// Programming: rows sequential → N × Twrite (≈26 µs at 512).
+	if got := cfg.ClusterWriteTime(512); math.Abs(got-512*50.88e-9) > 1e-12 {
+		t.Errorf("write time %g", got)
+	}
+	cells := 512.0 * 512 * 127
+	if got := cfg.ClusterWriteEnergy(512); math.Abs(got-cells*3.91e-9)/got > 1e-9 {
+		t.Errorf("write energy %g", got)
+	}
+}
+
+func TestLocalTimes(t *testing.T) {
+	cfg := Default()
+	base := cfg.LocalNNZTime(1000, 0)
+	scattered := cfg.LocalNNZTime(1000, 1)
+	if scattered <= base {
+		t.Error("scattered gather must cost more")
+	}
+	if got := cfg.LocalVecTime(1200); got != 1200*cfg.LocalCyclesPerVecElem/cfg.ClockHz {
+		t.Errorf("vec time %g", got)
+	}
+}
+
+func TestSystemAreaMatchesPaper(t *testing.T) {
+	cfg := Default()
+	a := cfg.SystemArea()
+	// §VIII-C: 539 mm² total, below the P100's 610 mm².
+	if a.Total < 480 || a.Total > 610 {
+		t.Errorf("system area %.1f mm² outside the paper's ballpark (539)", a.Total)
+	}
+	// Crossbars + periphery dominate.
+	if a.CrossbarShare() < 0.5 {
+		t.Errorf("crossbar share %.2f, paper reports dominance", a.CrossbarShare())
+	}
+	// Processors + global memory ≈ 13.6%.
+	if ps := a.ProcessorShare(); ps < 0.08 || ps > 0.20 {
+		t.Errorf("processor share %.2f, paper reports 13.6%%", ps)
+	}
+	sum := a.Crossbars + a.ClusterMisc + a.Processors + a.GlobalMem
+	if math.Abs(sum-a.Total)/a.Total > 1e-12 {
+		t.Error("components do not sum to total")
+	}
+}
+
+func TestClusterCountsTableI(t *testing.T) {
+	cfg := Default()
+	counts := cfg.ClusterCounts()
+	want := []struct{ Size, Count int }{{512, 2}, {256, 4}, {128, 6}, {64, 8}}
+	if len(counts) != len(want) {
+		t.Fatalf("cluster classes %d", len(counts))
+	}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Errorf("class %d = %+v want %+v", i, counts[i], w)
+		}
+	}
+}
+
+func TestEnduranceYears(t *testing.T) {
+	cfg := Default()
+	// §VIII-E: with solves back to back and full rewrites, lifetime > 100
+	// years. A one-second solve → 1e9 writes / (1/s) = 1e9 s ≈ 31.7 yr;
+	// the paper's solves are longer.
+	years := cfg.EnduranceYears(10.0) // 10-second solve
+	if years < 100 {
+		t.Errorf("10s solves give %.0f years, paper claims >100", years)
+	}
+	if cfg.EnduranceYears(0) != 0 {
+		t.Error("zero solve time should yield zero")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cfg := Default()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.Banks = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid config accepted")
+	}
+	bad2 := cfg
+	bad2.ClustersPerBank = nil
+	if err := bad2.Validate(); err == nil {
+		t.Error("clusterless config accepted")
+	}
+}
+
+func TestScalingLaws(t *testing.T) {
+	// §V-A proportionalities: strictly increasing in each dimension.
+	if ADCEnergyLaw(512, 512) <= ADCEnergyLaw(256, 256) {
+		t.Error("ADC energy law not increasing")
+	}
+	if CrossbarEnergyLaw(512, 512) <= 4*CrossbarEnergyLaw(256, 256) {
+		t.Error("crossbar energy law should grow superlinearly (×>4 per doubling)")
+	}
+	if ConversionTimeLaw(512, 512)/ConversionTimeLaw(256, 256) < 2 {
+		t.Error("conversion time doubles with columns (plus a resolution bit)")
+	}
+	// Doubling N doubles ADC area (exponential in one more bit).
+	if ADCAreaLaw(512) != 2*ADCAreaLaw(256) {
+		t.Error("ADC area law")
+	}
+	// The anchored per-op energies follow the N·log2 N ADC-style shape
+	// within a modest factor (Table III is ADC-dominated pre-CIC).
+	cfg := Default()
+	r := (cfg.XbarOpEnergy(512) / cfg.XbarOpEnergy(64)) /
+		(ADCEnergyLaw(512, 512) / ADCEnergyLaw(64, 64) * 64 / 512)
+	// ADCEnergyLaw(M,N)/M gives per-size shape; ratio should be near 1.
+	if r < 0.8 || r > 1.3 {
+		t.Errorf("anchor energies deviate from the N·log2N shape by %.2fx", r)
+	}
+}

@@ -1,0 +1,102 @@
+package gpu
+
+import "testing"
+
+func shape(rows, nnz int, scatter float64) MatrixShape {
+	return MatrixShape{Rows: rows, Cols: rows, NNZ: nnz, ScatterFrac: scatter}
+}
+
+func TestSpMVMonotoneInNNZ(t *testing.T) {
+	m := P100()
+	prev := 0.0
+	for _, nnz := range []int{1e4, 1e5, 1e6, 5e6} {
+		tt := m.SpMVTime(shape(50000, int(nnz), 0.1))
+		if tt <= prev {
+			t.Fatalf("SpMV time not monotone in nnz: %g after %g", tt, prev)
+		}
+		prev = tt
+	}
+}
+
+func TestSpMVScatterPenalty(t *testing.T) {
+	m := P100()
+	banded := m.SpMVTime(shape(50000, 2e6, 0))
+	scattered := m.SpMVTime(shape(50000, 2e6, 1))
+	if scattered <= banded {
+		t.Error("scattered gather should be slower")
+	}
+	if scattered > 6*banded {
+		t.Errorf("scatter penalty %gx implausible", scattered/banded)
+	}
+}
+
+func TestLaunchOverheadFloor(t *testing.T) {
+	m := P100()
+	// Tiny kernels are launch-bound: the Anzt et al. regime (§VII-B).
+	if tt := m.DotTime(100); tt < 2*m.KernelLaunch {
+		t.Errorf("dot(100) = %g below two launches", tt)
+	}
+	if tt := m.AxpyTime(100); tt < m.KernelLaunch {
+		t.Errorf("axpy(100) = %g below one launch", tt)
+	}
+}
+
+func TestIterationComposition(t *testing.T) {
+	m := P100()
+	s := shape(60000, 1.5e6, 0.2)
+	cg := m.IterationTime(s, false)
+	wantCG := m.SpMVTime(s) + 2*m.DotTime(60000) + 3*m.AxpyTime(60000) + m.NormTime(60000)
+	if cg != wantCG {
+		t.Errorf("CG iteration composition wrong")
+	}
+	bicg := m.IterationTime(s, true)
+	if bicg <= cg {
+		t.Error("BiCG-STAB iteration (2 SpMVs) must exceed CG")
+	}
+}
+
+func TestSolveTimeAndEnergy(t *testing.T) {
+	m := P100()
+	s := shape(10000, 2e5, 0.1)
+	it := m.IterationTime(s, false)
+	if m.SolveTime(s, false, 100) != 100*it {
+		t.Error("solve time not iterations × iteration time")
+	}
+	if m.SolveEnergy(s, false, 100) != m.Energy(100*it) {
+		t.Error("solve energy inconsistent")
+	}
+	if m.Energy(1.0) != m.Power {
+		t.Error("energy = power × time")
+	}
+}
+
+func TestComputeRooflineBinds(t *testing.T) {
+	m := P100()
+	m.MemBandwidth = 1e15 // absurd bandwidth: compute-bound now
+	s := shape(1000, 1e9, 0)
+	got := m.SpMVTime(s)
+	wantFlops := 2 * 1e9 / m.FP64Peak
+	if got < wantFlops {
+		t.Errorf("compute roofline not binding: %g < %g", got, wantFlops)
+	}
+}
+
+func TestEfficiencyFloor(t *testing.T) {
+	m := P100()
+	if eff := m.spmvEfficiency(shape(1000, 1000, 1)); eff < 0.035 {
+		t.Errorf("efficiency %g below floor", eff)
+	}
+}
+
+func TestP100Constants(t *testing.T) {
+	m := P100()
+	if m.MemBandwidth != 732e9 {
+		t.Errorf("P100 HBM2 bandwidth is 732 GB/s")
+	}
+	if m.DieArea != 610 {
+		t.Errorf("P100 die is 610 mm² (§VIII-C)")
+	}
+	if m.FP64Peak != 4.7e12 {
+		t.Errorf("P100 FP64 peak is 4.7 TFLOP/s")
+	}
+}

@@ -1,0 +1,125 @@
+// Package lowprec models the prior-art memristive accelerators the paper
+// positions itself against (§I-II): ISAAC-class machine-learning
+// accelerators that compute MVM in 8- to 16-bit fixed point. Quantizing a
+// sparse matrix and its input vector to a shared per-block fixed-point
+// scale — precisely what those accelerators do — puts a floor under the
+// achievable residual, so Krylov solvers stall far above scientific
+// tolerances. The `experiments -run motivation` comparison reproduces the
+// paper's core motivation quantitatively.
+package lowprec
+
+import (
+	"fmt"
+	"math"
+
+	"memsci/internal/sparse"
+)
+
+// Operator is y = Q_b(A)·Q_b(x): an MVM through a fixed-point datapath
+// with b-bit operands. Matrix values are quantized once per row-block
+// (each block carrying its own power-of-two scale, the best case for a
+// fixed-point accelerator); the input vector is quantized per call with a
+// single global scale, as a crossbar DAC would see it.
+type Operator struct {
+	m         *sparse.CSR
+	bits      int
+	blockRows int
+	// qvals holds the quantized matrix values; scale[i] the per-block
+	// power-of-two scale (value = qval·2^scale).
+	qvals []float64
+}
+
+// New quantizes the matrix for a b-bit datapath with the given row-block
+// granularity (512 matches the paper's largest cluster).
+func New(m *sparse.CSR, bits, blockRows int) (*Operator, error) {
+	if bits < 2 || bits > 52 {
+		return nil, fmt.Errorf("lowprec: %d-bit datapath out of range", bits)
+	}
+	if blockRows < 1 {
+		blockRows = 512
+	}
+	op := &Operator{m: m, bits: bits, blockRows: blockRows}
+	op.qvals = make([]float64, m.NNZ())
+	for base := 0; base < m.Rows(); base += blockRows {
+		top := base + blockRows
+		if top > m.Rows() {
+			top = m.Rows()
+		}
+		// Per-block scale: largest magnitude maps to the top code.
+		var max float64
+		for i := base; i < top; i++ {
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				if a := math.Abs(m.Vals[k]); a > max {
+					max = a
+				}
+			}
+		}
+		for i := base; i < top; i++ {
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				op.qvals[k] = quantize(m.Vals[k], max, bits)
+			}
+		}
+	}
+	return op, nil
+}
+
+// quantize rounds v to a signed b-bit code with full-scale max.
+func quantize(v, max float64, bits int) float64 {
+	if max == 0 {
+		return 0
+	}
+	levels := float64(int64(1) << (bits - 1)) // codes in [-2^(b-1), 2^(b-1))
+	step := max / (levels - 1)
+	q := math.RoundToEven(v / step)
+	if q > levels-1 {
+		q = levels - 1
+	}
+	if q < -levels {
+		q = -levels
+	}
+	return q * step
+}
+
+// Rows returns the operator's row count.
+func (o *Operator) Rows() int { return o.m.Rows() }
+
+// Cols returns the operator's column count.
+func (o *Operator) Cols() int { return o.m.Cols() }
+
+// Apply computes y = Q(A)·Q(x).
+func (o *Operator) Apply(y, x []float64) {
+	// Vector quantization: one global scale per application (the DAC's
+	// full-scale range).
+	var max float64
+	for _, v := range x {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	m := o.m
+	for i := 0; i < m.Rows(); i++ {
+		sum := 0.0
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			sum += o.qvals[k] * quantize(x[m.ColIdx[k]], max, o.bits)
+		}
+		y[i] = sum
+	}
+}
+
+// QuantizationError returns the relative Frobenius error of the
+// quantized matrix: ‖A − Q(A)‖ / ‖A‖.
+func (o *Operator) QuantizationError() float64 {
+	var num, den float64
+	for k, v := range o.m.Vals {
+		d := v - o.qvals[k]
+		num += d * d
+		den += v * v
+	}
+	if den == 0 {
+		return 0
+	}
+	return math.Sqrt(num / den)
+}
+
+// Bits returns the datapath width.
+func (o *Operator) Bits() int { return o.bits }

@@ -1,0 +1,153 @@
+package matgen
+
+import "fmt"
+
+// Catalog returns the 20 matrix stand-ins of Table II, SPD matrices
+// first, in the paper's order. Rows and NNZ targets are the published
+// values; Class and structure parameters are chosen so each stand-in
+// reproduces its original's blocking behavior class (high / moderate /
+// unblockable) and value dynamic range.
+func Catalog() []Spec {
+	return []Spec{
+		{
+			Name: "2cubes_sphere", Domain: "electromagnetics",
+			Rows: 101492, NNZ: 1647264, SPD: true, Class: FEM,
+			Supernode: 4, ScatterFrac: 0.49, ExpSpread: 24, Seed: 101,
+			SolveIters: 1400, PaperBlocked: 0.497, PaperNNZRow: 16.2,
+		},
+		{
+			Name: "crystm03", Domain: "materials science",
+			Rows: 24696, NNZ: 583770, SPD: true, Class: FEM,
+			Supernode: 6, ScatterFrac: 0.04, ExpSpread: 16, Seed: 102,
+			SolveIters: 900, PaperBlocked: 0.947, PaperNNZRow: 23.6,
+		},
+		{
+			Name: "finan512", Domain: "financial optimization",
+			Rows: 74752, NNZ: 596992, SPD: true, Class: Tree,
+			Supernode: 6, ExpSpread: 20, Seed: 103,
+			SolveIters: 1100, PaperBlocked: 0.467, PaperNNZRow: 7.9,
+		},
+		{
+			Name: "G2_circuit", Domain: "circuit simulation",
+			Rows: 150102, NNZ: 726674, SPD: true, Class: Circuit,
+			ScatterFrac: 0.41, ExpSpread: 28, Seed: 104,
+			SolveIters: 2200, PaperBlocked: 0.609, PaperNNZRow: 4.5,
+		},
+		{
+			Name: "nasasrb", Domain: "structural analysis",
+			Rows: 54870, NNZ: 2677324, SPD: true, Class: FEM,
+			Supernode: 6, Grid2D: true, ExpSpread: 48, WideTail: 0.0004, ScatterFrac: 0.008,
+			Seed: 105, SolveIters: 1300, PaperBlocked: 0.991, PaperNNZRow: 49.8,
+		},
+		{
+			Name: "Pres_Poisson", Domain: "computational fluid dynamics",
+			Rows: 14822, NNZ: 715804, SPD: true, Class: FEM,
+			Supernode: 7, Grid2D: true, ScatterFrac: 0.035, ExpSpread: 8, Seed: 106,
+			SolveIters: 800, PaperBlocked: 0.964, PaperNNZRow: 48.3,
+		},
+		{
+			Name: "qa8fm", Domain: "acoustics",
+			Rows: 66127, NNZ: 1660579, SPD: true, Class: FEM,
+			Supernode: 5, ScatterFrac: 0.06, ExpSpread: 12, Seed: 107,
+			SolveIters: 1200, PaperBlocked: 0.928, PaperNNZRow: 25.1,
+		},
+		{
+			Name: "ship_001", Domain: "structural analysis",
+			Rows: 34920, NNZ: 3896496, SPD: true, Class: Quantum,
+			Supernode: 75, ScatterFrac: 0.34, ExpSpread: 36, Seed: 108,
+			SolveIters: 1000, PaperBlocked: 0.664, PaperNNZRow: 111.6,
+		},
+		{
+			Name: "thermomech_TC", Domain: "thermomechanics",
+			Rows: 102158, NNZ: 711558, SPD: true, Class: Scatter,
+			DenseRows: 2, ExpSpread: 16, Seed: 109,
+			SolveIters: 1600, PaperBlocked: 0.008, PaperNNZRow: 6.8,
+		},
+		{
+			Name: "Trefethen_20000", Domain: "combinatorial",
+			Rows: 20000, NNZ: 554466, SPD: true, Class: Banded,
+			Band: 40, ScatterFrac: 0.33, ExpSpread: 30, Seed: 110,
+			SolveIters: 700, PaperBlocked: 0.633, PaperNNZRow: 27.7,
+		},
+		{
+			Name: "ASIC_100K", Domain: "circuit simulation",
+			Rows: 99340, NNZ: 940621, SPD: false, Class: Circuit,
+			ScatterFrac: 0.37, DenseRows: 40, ExpSpread: 36, Seed: 111,
+			SolveIters: 1500, PaperBlocked: 0.609, PaperNNZRow: 9.5,
+		},
+		{
+			Name: "bcircuit", Domain: "circuit simulation",
+			Rows: 68902, NNZ: 375558, SPD: false, Class: Circuit,
+			ScatterFrac: 0.38, ExpSpread: 30, Seed: 112,
+			SolveIters: 1200, PaperBlocked: 0.649, PaperNNZRow: 5.4,
+		},
+		{
+			Name: "epb3", Domain: "thermodynamics",
+			Rows: 84617, NNZ: 463625, SPD: false, Class: Banded,
+			Band: 12, ScatterFrac: 0.29, ExpSpread: 20, Seed: 113,
+			SolveIters: 1300, PaperBlocked: 0.722, PaperNNZRow: 5.5,
+		},
+		{
+			Name: "GaAsH6", Domain: "quantum chemistry",
+			Rows: 61349, NNZ: 3381809, SPD: false, Class: Quantum,
+			Supernode: 39, ScatterFrac: 0.30, ExpSpread: 32, Seed: 114,
+			SolveIters: 900, PaperBlocked: 0.692, PaperNNZRow: 55.1,
+		},
+		{
+			Name: "ns3Da", Domain: "computational fluid dynamics",
+			Rows: 20414, NNZ: 1679599, SPD: false, Class: Scatter,
+			DenseRows: 12, ExpSpread: 18, Seed: 115,
+			SolveIters: 800, PaperBlocked: 0.032, PaperNNZRow: 82.0,
+		},
+		{
+			Name: "Si34H36", Domain: "quantum chemistry",
+			Rows: 97569, NNZ: 5156379, SPD: false, Class: Quantum,
+			Supernode: 29, ScatterFrac: 0.46, ExpSpread: 32, Seed: 116,
+			SolveIters: 1100, PaperBlocked: 0.537, PaperNNZRow: 52.8,
+		},
+		{
+			Name: "torso2", Domain: "bioengineering",
+			Rows: 115697, NNZ: 1033473, SPD: false, Class: Banded,
+			Band: 4, ScatterFrac: 0.015, ExpSpread: 14, Seed: 117,
+			SolveIters: 1700, PaperBlocked: 0.981, PaperNNZRow: 8.9,
+		},
+		{
+			Name: "venkat25", Domain: "computational fluid dynamics",
+			Rows: 62424, NNZ: 1717792, SPD: false, Class: FEM,
+			Supernode: 4, Grid2D: true, ScatterFrac: 0.17, ExpSpread: 22, Seed: 118,
+			SolveIters: 1000, PaperBlocked: 0.798, PaperNNZRow: 27.5,
+		},
+		{
+			Name: "wang3", Domain: "semiconductor devices",
+			Rows: 26064, NNZ: 177168, SPD: false, Class: Banded,
+			Band: 8, ScatterFrac: 0.37, ExpSpread: 24, Seed: 119,
+			SolveIters: 700, PaperBlocked: 0.646, PaperNNZRow: 6.8,
+		},
+		{
+			Name: "xenon1", Domain: "materials science",
+			Rows: 48600, NNZ: 1181120, SPD: false, Class: FEM,
+			Supernode: 5, ScatterFrac: 0.18, ExpSpread: 20, Seed: 120,
+			SolveIters: 900, PaperBlocked: 0.810, PaperNNZRow: 24.3,
+		},
+	}
+}
+
+// ByName returns the catalog spec with the given name.
+func ByName(name string) (Spec, error) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("matgen: unknown matrix %q", name)
+}
+
+// Names lists the catalog matrix names in order.
+func Names() []string {
+	cat := Catalog()
+	names := make([]string, len(cat))
+	for i, s := range cat {
+		names[i] = s.Name
+	}
+	return names
+}

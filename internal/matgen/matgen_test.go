@@ -1,0 +1,226 @@
+package matgen
+
+import (
+	"math"
+	"testing"
+
+	"memsci/internal/blocking"
+	"memsci/internal/sparse"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 20 {
+		t.Fatalf("catalog has %d entries, Table II lists 20", len(cat))
+	}
+	spd := 0
+	seen := map[string]bool{}
+	for _, s := range cat {
+		if seen[s.Name] {
+			t.Errorf("duplicate name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.SPD {
+			spd++
+		}
+		if s.Rows <= 0 || s.NNZ <= 0 || s.Seed == 0 || s.SolveIters <= 0 {
+			t.Errorf("%s: incomplete spec", s.Name)
+		}
+		if s.PaperBlocked < 0 || s.PaperBlocked > 1 {
+			t.Errorf("%s: paper blocked %g", s.Name, s.PaperBlocked)
+		}
+	}
+	if spd != 10 {
+		t.Errorf("%d SPD matrices, Table II has 10", spd)
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("torso2")
+	if err != nil || s.Name != "torso2" {
+		t.Fatalf("ByName: %v", err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if len(Names()) != 20 {
+		t.Error("Names() incomplete")
+	}
+}
+
+// Scaled stand-ins must match their Table II row structurally.
+func TestScaledStructure(t *testing.T) {
+	for _, spec := range Catalog() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			m := spec.GenerateScaled(0.05)
+			rows := m.Rows()
+			wantNNZRow := float64(spec.NNZ) / float64(spec.Rows)
+			gotNNZRow := float64(m.NNZ()) / float64(rows)
+			if gotNNZRow < wantNNZRow*0.7 || gotNNZRow > wantNNZRow*1.35 {
+				t.Errorf("nnz/row = %.1f, Table II %.1f", gotNNZRow, wantNNZRow)
+			}
+			if spec.SPD {
+				if !m.IsSymmetric(1e-12) {
+					t.Error("SPD stand-in not symmetric")
+				}
+			}
+			if !m.IsDiagonallyDominant() {
+				t.Error("not diagonally dominant")
+			}
+			if err := m.CheckFinite(); err != nil {
+				t.Error(err)
+			}
+			// Every row must hold a nonzero diagonal.
+			d := m.Diagonal()
+			for i, v := range d {
+				if v <= 0 {
+					t.Fatalf("diagonal[%d] = %g", i, v)
+				}
+			}
+		})
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	spec, _ := ByName("wang3")
+	a := spec.GenerateScaled(0.1)
+	b := spec.GenerateScaled(0.1)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("generation not deterministic")
+	}
+	for i := range a.Vals {
+		if a.Vals[i] != b.Vals[i] || a.ColIdx[i] != b.ColIdx[i] {
+			t.Fatal("values differ between runs")
+		}
+	}
+}
+
+func TestExponentSpreadHonored(t *testing.T) {
+	spec, _ := ByName("Pres_Poisson") // ExpSpread 8, no wide tail
+	m := spec.GenerateScaled(0.1)
+	min, max, ok := m.ExponentRange()
+	if !ok {
+		t.Fatal("no exponent range")
+	}
+	// Diagonal entries are sums (≈ row sums), so the range can exceed the
+	// off-diagonal spread somewhat, but must stay far below nasasrb-like.
+	if max-min > 30 {
+		t.Errorf("Pres_Poisson stand-in spread %d too wide", max-min)
+	}
+}
+
+func TestWideTailProducesOutliers(t *testing.T) {
+	spec, _ := ByName("nasasrb")
+	m := spec.GenerateScaled(0.2)
+	min, max, _ := m.ExponentRange()
+	if max-min < 80 {
+		t.Errorf("nasasrb stand-in spread %d; wide tail should exceed 80", max-min)
+	}
+}
+
+// Blocking-efficiency classes must reproduce Table II on scaled versions:
+// high-blockers stay high, scatter stays unblockable.
+func TestBlockingClasses(t *testing.T) {
+	cases := map[string]struct {
+		scale  float64
+		lo, hi float64
+	}{
+		"nasasrb":       {0.15, 0.90, 1.0},
+		"torso2":        {0.15, 0.90, 1.0},
+		"thermomech_TC": {0.15, 0, 0.10},
+		// ns3Da needs a larger scale: scatter density grows as rows
+		// shrink, so a tiny instance blocks artificially well.
+		"ns3Da": {0.5, 0, 0.15},
+	}
+	for name, want := range cases {
+		spec, _ := ByName(name)
+		m := spec.GenerateScaled(want.scale)
+		plan, err := blocking.Preprocess(m, blocking.DefaultSubstrate())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		eff := plan.Stats.Efficiency()
+		if eff < want.lo || eff > want.hi {
+			t.Errorf("%s: blocked %.2f outside [%.2f, %.2f]", name, eff, want.lo, want.hi)
+		}
+	}
+}
+
+func TestGenerateScaledBounds(t *testing.T) {
+	spec, _ := ByName("wang3")
+	m := spec.GenerateScaled(0.001) // floors at 64 rows
+	if m.Rows() < 64 {
+		t.Errorf("rows %d below floor", m.Rows())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("scale > 1 not rejected")
+		}
+	}()
+	spec.GenerateScaled(2)
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{
+		FEM: "fem", Banded: "banded", Circuit: "circuit",
+		Quantum: "quantum", Scatter: "scatter", Tree: "tree",
+	} {
+		if c.String() != want {
+			t.Errorf("%v", c)
+		}
+	}
+}
+
+func TestValuesMostlyNegativeOffDiagonal(t *testing.T) {
+	spec, _ := ByName("qa8fm")
+	m := spec.GenerateScaled(0.05)
+	neg, pos := 0, 0
+	for i := 0; i < m.Rows(); i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if m.ColIdx[k] == i {
+				continue
+			}
+			if m.Vals[k] < 0 {
+				neg++
+			} else {
+				pos++
+			}
+		}
+	}
+	if float64(neg)/float64(neg+pos) < 0.9 {
+		t.Errorf("off-diagonals only %.0f%% negative; Laplacian-like structure expected",
+			100*float64(neg)/float64(neg+pos))
+	}
+}
+
+func TestSolveItersScale(t *testing.T) {
+	// Catalog iteration counts must be in the paper's "thousands" regime.
+	for _, s := range Catalog() {
+		if s.SolveIters < 500 || s.SolveIters > 5000 {
+			t.Errorf("%s: SolveIters %d outside the documented scale", s.Name, s.SolveIters)
+		}
+	}
+}
+
+func TestDiagMarginDefaulting(t *testing.T) {
+	spec := Spec{Name: "m", Rows: 128, NNZ: 128 * 6, SPD: true, Class: Banded,
+		Band: 8, ExpSpread: 4, Seed: 1}
+	m := spec.Generate()
+	// Margin 0.0005: diagonal ≈ Σ|off|·1.0005.
+	for i := 0; i < m.Rows(); i++ {
+		var off float64
+		var diag float64
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if m.ColIdx[k] == i {
+				diag = m.Vals[k]
+			} else {
+				off += math.Abs(m.Vals[k])
+			}
+		}
+		if off > 0 && math.Abs(diag/off-1.0005) > 1e-9 {
+			t.Fatalf("row %d margin %g", i, diag/off-1)
+		}
+	}
+	_ = sparse.Ones(1)
+}

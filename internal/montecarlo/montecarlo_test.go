@@ -1,0 +1,72 @@
+package montecarlo
+
+import (
+	"testing"
+
+	"memsci/internal/device"
+)
+
+func study(t *testing.T, trials int) *Study {
+	t.Helper()
+	s, err := DefaultStudy(trials, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBaselineConverges(t *testing.T) {
+	s := study(t, 2)
+	mean, err := s.Baseline(device.TaOx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean <= 1 || mean >= float64(s.MaxIter) {
+		t.Fatalf("baseline mean %.1f implausible (cap %d)", mean, s.MaxIter)
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	s := study(t, 1)
+	a, err := s.Run(device.TaOx(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Run(device.TaOx(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed diverged: %d vs %d", a, b)
+	}
+}
+
+// The Figure 12 contrast in miniature: the design point is insensitive,
+// the 2-bit low-range configuration fails.
+func TestDesignPointVsStressed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("functional Monte-Carlo trial")
+	}
+	s := study(t, 2)
+	base, err := s.Baseline(device.TaOx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := s.Sweep("B=1 D=1.5K", device.TaOx(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Mean > 1.05 || clean.Failed > 0 {
+		t.Errorf("design point degraded: %+v", clean)
+	}
+	stressed := device.TaOx()
+	stressed.BitsPerCell = 2
+	stressed.DynamicRange = 750
+	bad, err := s.Sweep("B=2 D=0.75K", stressed, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Mean < 2 || bad.Failed == 0 {
+		t.Errorf("stressed configuration did not degrade: %+v", bad)
+	}
+}

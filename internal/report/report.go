@@ -1,0 +1,274 @@
+// Package report renders the experiment harness output: fixed-width
+// tables, horizontal ASCII bar charts (for figure-shaped results), and
+// CSV for downstream plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows and prints them with aligned columns.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{Header: header} }
+
+// Add appends a row; values are formatted with %v unless already strings.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint writes the table.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	write := func(cells []string) {
+		esc := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			esc[i] = c
+		}
+		fmt.Fprintln(w, strings.Join(esc, ","))
+	}
+	write(t.Header)
+	for _, r := range t.Rows {
+		write(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// FormatFloat renders a float compactly: 3 significant decimals for
+// moderate magnitudes, scientific otherwise.
+func FormatFloat(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case a >= 1e6 || a < 1e-3:
+		return fmt.Sprintf("%.3g", v)
+	case a >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Bars renders a labeled horizontal bar chart scaled to the maximum
+// value, the textual analog of the paper's per-matrix figures.
+func Bars(w io.Writer, title string, labels []string, values []float64, unit string) {
+	fmt.Fprintln(w, title)
+	max := 0.0
+	lw := 0
+	for i, v := range values {
+		if v > max {
+			max = v
+		}
+		if len(labels[i]) > lw {
+			lw = len(labels[i])
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	const width = 50
+	for i, v := range values {
+		n := int(math.Round(v / max * width))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(w, "  %s  %s %s%s\n", pad(labels[i], lw),
+			pad(strings.Repeat("#", n), width), FormatFloat(v), unit)
+	}
+}
+
+// LogBars renders bars on a log10 scale (for wide dynamic ranges such as
+// Figure 9's normalized energy).
+func LogBars(w io.Writer, title string, labels []string, values []float64, unit string) {
+	logs := make([]float64, len(values))
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, v := range values {
+		if v <= 0 {
+			logs[i] = math.Inf(-1)
+			continue
+		}
+		logs[i] = math.Log10(v)
+		if logs[i] < lo {
+			lo = logs[i]
+		}
+		if logs[i] > hi {
+			hi = logs[i]
+		}
+	}
+	if math.IsInf(lo, 1) {
+		Bars(w, title, labels, values, unit)
+		return
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	fmt.Fprintln(w, title+" (log scale)")
+	lw := 0
+	for _, l := range labels {
+		if len(l) > lw {
+			lw = len(l)
+		}
+	}
+	const width = 50
+	for i, v := range values {
+		n := 0
+		if !math.IsInf(logs[i], -1) {
+			n = 1 + int(math.Round((logs[i]-lo)/span*(width-1)))
+		}
+		fmt.Fprintf(w, "  %s  %s %s%s\n", pad(labels[i], lw),
+			pad(strings.Repeat("#", n), width), FormatFloat(v), unit)
+	}
+}
+
+// GeoMean returns the geometric mean of positive values.
+func GeoMean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		if v <= 0 {
+			return 0
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(values)))
+}
+
+// Mean returns the arithmetic mean.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range values {
+		s += v
+	}
+	return s / float64(len(values))
+}
+
+// SI formats a value with an SI prefix (e.g. 1.2e-6 s → "1.20 µs").
+func SI(v float64, unit string) string {
+	type pfx struct {
+		scale float64
+		name  string
+	}
+	prefixes := []pfx{
+		{1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},
+		{1, ""}, {1e-3, "m"}, {1e-6, "µ"}, {1e-9, "n"}, {1e-12, "p"},
+	}
+	a := math.Abs(v)
+	if a == 0 {
+		return "0 " + unit
+	}
+	for _, p := range prefixes {
+		if a >= p.scale {
+			return fmt.Sprintf("%.3g %s%s", v/p.scale, p.name, unit)
+		}
+	}
+	return fmt.Sprintf("%.3g %s", v, unit)
+}
+
+// Histogram renders a fixed-bucket histogram of integer samples, used for
+// per-column early-termination distributions.
+func Histogram(w io.Writer, title string, samples []int, buckets int) {
+	if len(samples) == 0 || buckets < 1 {
+		return
+	}
+	min, max := samples[0], samples[0]
+	for _, s := range samples {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	span := max - min + 1
+	if buckets > span {
+		buckets = span
+	}
+	counts := make([]int, buckets)
+	for _, s := range samples {
+		b := (s - min) * buckets / span
+		if b >= buckets {
+			b = buckets - 1
+		}
+		counts[b]++
+	}
+	labels := make([]string, buckets)
+	values := make([]float64, buckets)
+	for b := range counts {
+		lo := min + b*span/buckets
+		hi := min + (b+1)*span/buckets - 1
+		if hi < lo {
+			hi = lo
+		}
+		if lo == hi {
+			labels[b] = fmt.Sprintf("%d", lo)
+		} else {
+			labels[b] = fmt.Sprintf("%d-%d", lo, hi)
+		}
+		values[b] = float64(counts[b])
+	}
+	Bars(w, title, labels, values, "")
+}

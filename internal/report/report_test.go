@@ -1,0 +1,137 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.Add("short", 1)
+	tab.Add("a-much-longer-name", 123.456)
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Errorf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("separator %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "123.5") {
+		t.Errorf("row %q", lines[3])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("a", "b")
+	tab.Add("x,y", `quote"inside`)
+	var buf bytes.Buffer
+	tab.CSV(&buf)
+	want := "a,b\n\"x,y\",\"quote\"\"inside\"\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q want %q", buf.String(), want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1.23456: "1.235",
+		123.456: "123.5",
+		1e9:     "1e+09",
+		1e-6:    "1e-06",
+	}
+	for v, want := range cases {
+		if got := FormatFloat(v); got != want {
+			t.Errorf("FormatFloat(%g) = %q want %q", v, got, want)
+		}
+	}
+}
+
+func TestBars(t *testing.T) {
+	var buf bytes.Buffer
+	Bars(&buf, "title", []string{"a", "bb"}, []float64{1, 2}, "x")
+	out := buf.String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "##") {
+		t.Errorf("bars output: %q", out)
+	}
+	// The max bar must be longer than the half bar.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Count(lines[1], "#") >= strings.Count(lines[2], "#") {
+		t.Error("bar lengths not proportional")
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	var buf bytes.Buffer
+	Bars(&buf, "t", []string{"a"}, []float64{0}, "")
+	if !strings.Contains(buf.String(), "0") {
+		t.Error("zero bars broke")
+	}
+}
+
+func TestLogBars(t *testing.T) {
+	var buf bytes.Buffer
+	LogBars(&buf, "t", []string{"small", "big"}, []float64{0.001, 1.0}, "")
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if strings.Count(lines[1], "#") >= strings.Count(lines[2], "#") {
+		t.Error("log bars not ordered")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("GeoMean = %g", g)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{1, 0}) != 0 {
+		t.Error("degenerate geomeans")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("Mean = %g", m)
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil)")
+	}
+}
+
+func TestSI(t *testing.T) {
+	cases := map[float64]string{
+		1.2e-6:  "1.2 µs",
+		3.5e-3:  "3.5 ms",
+		42:      "42 s",
+		1.5e9:   "1.5 Gs",
+		2.5e-12: "2.5 ps",
+	}
+	for v, want := range cases {
+		if got := SI(v, "s"); got != want {
+			t.Errorf("SI(%g) = %q want %q", v, got, want)
+		}
+	}
+	if SI(0, "J") != "0 J" {
+		t.Error("SI zero")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var buf bytes.Buffer
+	Histogram(&buf, "h", []int{1, 1, 2, 5, 5, 5}, 3)
+	out := buf.String()
+	if !strings.Contains(out, "h") || !strings.Contains(out, "#") {
+		t.Errorf("histogram output: %q", out)
+	}
+	// Degenerate inputs must not panic.
+	Histogram(&buf, "e", nil, 3)
+	Histogram(&buf, "one", []int{7, 7, 7}, 5)
+	if !strings.Contains(buf.String(), "7") {
+		t.Error("single-value histogram")
+	}
+}

@@ -1,0 +1,318 @@
+// Package softfp is a software implementation of IEEE-754 binary64
+// arithmetic — the SoftFloat-style fixed-point emulation of floating
+// point the paper cites as the classic alternative ([13]) and the model
+// of the local processor's IEEE-compliant FPU (§IV-D: invalid operations,
+// NaN/Inf handling, and exception behavior live in the local processor,
+// not the crossbars).
+//
+// Operations compute the exact result as an integer-scaled value
+// (math/big) and round once, so they serve as an independent reference
+// for the crossbar pipeline's rounding logic: softfp and internal/core
+// implement rounding separately and are cross-checked in tests.
+package softfp
+
+import (
+	"math"
+	"math/big"
+)
+
+// Rounding selects an IEEE-754 rounding direction.
+type Rounding int
+
+const (
+	// NearestEven is round-to-nearest, ties to even (the IEEE default).
+	NearestEven Rounding = iota
+	// TowardZero truncates the magnitude.
+	TowardZero
+	// TowardPosInf rounds toward +∞.
+	TowardPosInf
+	// TowardNegInf rounds toward −∞.
+	TowardNegInf
+)
+
+// Flags reports IEEE-754 exception conditions (§IV-D: these do not trap,
+// matching CUDA semantics).
+type Flags struct {
+	Invalid   bool
+	Overflow  bool
+	Underflow bool
+	Inexact   bool
+}
+
+// exact is a nonzero finite value sig·2^exp with sig ≠ 0.
+type exact struct {
+	sig *big.Int
+	exp int
+}
+
+// decompose splits a finite nonzero double.
+func decompose(v float64) exact {
+	bits := math.Float64bits(v)
+	sign := bits >> 63
+	e := int((bits >> 52) & 0x7ff)
+	frac := bits & ((1 << 52) - 1)
+	var sig uint64
+	var exp int
+	if e == 0 { // subnormal
+		sig = frac
+		exp = -1074
+	} else {
+		sig = frac | (1 << 52)
+		exp = e - 1075
+	}
+	z := new(big.Int).SetUint64(sig)
+	if sign == 1 {
+		z.Neg(z)
+	}
+	return exact{sig: z, exp: exp}
+}
+
+// round converts sig·2^exp to a double under the mode, setting flags.
+func round(sig *big.Int, exp int, mode Rounding, f *Flags) float64 {
+	sign := sig.Sign()
+	if sign == 0 {
+		return 0
+	}
+	a := new(big.Int).Abs(sig)
+	lead := a.BitLen() - 1 + exp
+
+	u := lead - 52
+	if u < -1074 {
+		u = -1074
+	}
+	shift := u - exp
+	m := new(big.Int)
+	inexact := false
+	if shift <= 0 {
+		m.Lsh(a, uint(-shift))
+	} else {
+		rem := new(big.Int)
+		m.Rsh(a, uint(shift))
+		rem.And(a, new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), uint(shift)), big.NewInt(1)))
+		if rem.Sign() != 0 {
+			inexact = true
+			up := false
+			switch mode {
+			case TowardZero:
+			case TowardNegInf:
+				up = sign < 0
+			case TowardPosInf:
+				up = sign > 0
+			case NearestEven:
+				half := new(big.Int).Lsh(big.NewInt(1), uint(shift-1))
+				switch rem.Cmp(half) {
+				case 1:
+					up = true
+				case 0:
+					up = m.Bit(0) == 1
+				}
+			}
+			if up {
+				m.Add(m, big.NewInt(1))
+			}
+		}
+	}
+	if inexact {
+		f.Inexact = true
+		if lead < -1022 {
+			f.Underflow = true // inexact subnormal result
+		}
+	}
+	v := math.Ldexp(float64(m.Uint64()), u)
+	if math.IsInf(v, 0) {
+		f.Overflow = true
+		f.Inexact = true
+		switch mode {
+		case TowardZero:
+			v = math.MaxFloat64
+		case TowardNegInf:
+			if sign > 0 {
+				v = math.MaxFloat64
+			}
+		case TowardPosInf:
+			if sign < 0 {
+				v = math.MaxFloat64
+			}
+		}
+	}
+	if sign < 0 {
+		v = -v
+	}
+	return v
+}
+
+// propagate handles NaN/Inf/zero special cases shared by the operations.
+// ok is false when the operation must be resolved by the exact path.
+func isNaN(v float64) bool { return math.IsNaN(v) }
+
+// Add returns a+b rounded once under the mode.
+func Add(a, b float64, mode Rounding) (float64, Flags) {
+	var f Flags
+	switch {
+	case isNaN(a) || isNaN(b):
+		f.Invalid = isSignalingCombo(a, b)
+		return math.NaN(), f
+	case math.IsInf(a, 0) && math.IsInf(b, 0):
+		if math.Signbit(a) != math.Signbit(b) {
+			f.Invalid = true // Inf − Inf
+			return math.NaN(), f
+		}
+		return a, f
+	case math.IsInf(a, 0):
+		return a, f
+	case math.IsInf(b, 0):
+		return b, f
+	case a == 0 && b == 0:
+		// IEEE signed-zero addition.
+		if math.Signbit(a) && math.Signbit(b) {
+			return math.Copysign(0, -1), f
+		}
+		if mode == TowardNegInf && (math.Signbit(a) || math.Signbit(b)) {
+			return math.Copysign(0, -1), f
+		}
+		return 0, f
+	case a == 0:
+		return b, f
+	case b == 0:
+		return a, f
+	}
+	ea, eb := decompose(a), decompose(b)
+	exp := ea.exp
+	if eb.exp < exp {
+		exp = eb.exp
+	}
+	sa := new(big.Int).Lsh(ea.sig, uint(ea.exp-exp))
+	sb := new(big.Int).Lsh(eb.sig, uint(eb.exp-exp))
+	sum := new(big.Int).Add(sa, sb)
+	if sum.Sign() == 0 {
+		// Exact cancellation: +0 except toward −∞, where −0 (IEEE 6.3).
+		if mode == TowardNegInf {
+			return math.Copysign(0, -1), f
+		}
+		return 0, f
+	}
+	return round(sum, exp, mode, &f), f
+}
+
+// Sub returns a−b rounded once.
+func Sub(a, b float64, mode Rounding) (float64, Flags) {
+	return Add(a, negate(b), mode)
+}
+
+// Mul returns a·b rounded once.
+func Mul(a, b float64, mode Rounding) (float64, Flags) {
+	var f Flags
+	switch {
+	case isNaN(a) || isNaN(b):
+		f.Invalid = isSignalingCombo(a, b)
+		return math.NaN(), f
+	case math.IsInf(a, 0) || math.IsInf(b, 0):
+		if a == 0 || b == 0 {
+			f.Invalid = true // 0 × Inf
+			return math.NaN(), f
+		}
+		return math.Copysign(math.Inf(1), a*b), f
+	case a == 0 || b == 0:
+		return math.Copysign(0, signProduct(a, b)), f
+	}
+	ea, eb := decompose(a), decompose(b)
+	prod := new(big.Int).Mul(ea.sig, eb.sig)
+	return round(prod, ea.exp+eb.exp, mode, &f), f
+}
+
+// FMA returns a·b + c with a single rounding — the fused multiply-add of
+// the local processor's FPGen unit (§VII-A).
+func FMA(a, b, c float64, mode Rounding) (float64, Flags) {
+	var f Flags
+	if isNaN(a) || isNaN(b) || isNaN(c) {
+		return math.NaN(), f
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		if a == 0 || b == 0 {
+			f.Invalid = true
+			return math.NaN(), f
+		}
+		pInf := math.Copysign(math.Inf(1), signProduct(a, b))
+		return Add(pInf, c, mode)
+	}
+	if math.IsInf(c, 0) {
+		return c, f
+	}
+	if a == 0 || b == 0 {
+		return Add(math.Copysign(0, signProduct(a, b)), c, mode)
+	}
+	ea, eb := decompose(a), decompose(b)
+	prod := new(big.Int).Mul(ea.sig, eb.sig)
+	pexp := ea.exp + eb.exp
+	if c == 0 {
+		if prod.Sign() == 0 {
+			return Add(math.Copysign(0, signProduct(a, b)), c, mode)
+		}
+		return round(prod, pexp, mode, &f), f
+	}
+	ec := decompose(c)
+	exp := pexp
+	if ec.exp < exp {
+		exp = ec.exp
+	}
+	p := new(big.Int).Lsh(prod, uint(pexp-exp))
+	q := new(big.Int).Lsh(ec.sig, uint(ec.exp-exp))
+	sum := new(big.Int).Add(p, q)
+	if sum.Sign() == 0 {
+		if mode == TowardNegInf {
+			return math.Copysign(0, -1), f
+		}
+		return 0, f
+	}
+	return round(sum, exp, mode, &f), f
+}
+
+// Dot computes a serial FPU dot product: each product rounded, each
+// accumulation rounded — the §IV-B contrast with the crossbar's exact
+// aggregation ("a truncation strategy different from that of a digital
+// FPU").
+func Dot(a, x []float64, mode Rounding) (float64, Flags) {
+	var acc float64
+	var flags Flags
+	for i := range a {
+		var f Flags
+		acc, f = FMA(a[i], x[i], acc, mode)
+		flags.Invalid = flags.Invalid || f.Invalid
+		flags.Overflow = flags.Overflow || f.Overflow
+		flags.Underflow = flags.Underflow || f.Underflow
+		flags.Inexact = flags.Inexact || f.Inexact
+	}
+	return acc, flags
+}
+
+func negate(v float64) float64 {
+	return math.Float64frombits(math.Float64bits(v) ^ (1 << 63))
+}
+
+func signProduct(a, b float64) float64 {
+	if math.Signbit(a) != math.Signbit(b) {
+		return -1
+	}
+	return 1
+}
+
+// isSignalingCombo reports whether a NaN operand carries the signaling
+// bit clear (quiet bit unset) — the only NaN case that raises Invalid.
+func isSignalingCombo(a, b float64) bool {
+	return isSignaling(a) || isSignaling(b)
+}
+
+func isSignaling(v float64) bool {
+	if !math.IsNaN(v) {
+		return false
+	}
+	return math.Float64bits(v)&(1<<51) == 0
+}
+
+// Round converts the exact value sig·2^exp to binary64 under the mode —
+// the package's rounding core exposed for cross-validation against other
+// rounding implementations (internal/core uses an independent one).
+func Round(sig *big.Int, exp int, mode Rounding) (float64, Flags) {
+	var f Flags
+	return round(sig, exp, mode, &f), f
+}

@@ -1,0 +1,217 @@
+package softfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randFloat(rng *rand.Rand) float64 {
+	v := math.Ldexp(rng.Float64()*2-1, rng.Intn(120)-60)
+	return v
+}
+
+// Nearest-even Add/Mul/FMA must match the hardware FPU bit for bit
+// (Go's float64 ops and math.FMA are IEEE nearest-even).
+func TestAddMatchesHardware(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			a, b := randFloat(rng), randFloat(rng)
+			got, _ := Add(a, b, NearestEven)
+			if math.Float64bits(got) != math.Float64bits(a+b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulMatchesHardware(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			a, b := randFloat(rng), randFloat(rng)
+			got, _ := Mul(a, b, NearestEven)
+			if math.Float64bits(got) != math.Float64bits(a*b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFMAMatchesHardware(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			a, b, c := randFloat(rng), randFloat(rng), randFloat(rng)
+			got, _ := FMA(a, b, c, NearestEven)
+			want := math.FMA(a, b, c)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubnormals(t *testing.T) {
+	tiny := math.Ldexp(1, -1070)
+	got, fl := Add(tiny, tiny/2, NearestEven)
+	want := tiny + tiny/2
+	if got != want {
+		t.Errorf("subnormal add: %g vs %g", got, want)
+	}
+	_ = fl
+	got2, _ := Mul(tiny, 0.5, NearestEven)
+	if got2 != tiny/2 {
+		t.Errorf("subnormal mul: %g", got2)
+	}
+}
+
+func TestDirectedRounding(t *testing.T) {
+	// 1 + 2^-53 is exactly between 1 and nextafter(1): directions differ.
+	eps := math.Ldexp(1, -53)
+	next := math.Nextafter(1, 2)
+	cases := []struct {
+		mode Rounding
+		want float64
+	}{
+		{NearestEven, 1}, // tie to even
+		{TowardZero, 1},
+		{TowardNegInf, 1},
+		{TowardPosInf, next},
+	}
+	for _, c := range cases {
+		got, fl := Add(1, eps, c.mode)
+		if got != c.want {
+			t.Errorf("mode %d: got %v want %v", c.mode, got, c.want)
+		}
+		if !fl.Inexact {
+			t.Errorf("mode %d: inexact flag missing", c.mode)
+		}
+	}
+	// Negative side mirrors.
+	if got, _ := Add(-1, -eps, TowardNegInf); got != -next {
+		t.Errorf("neg toward -inf: %v", got)
+	}
+	if got, _ := Add(-1, -eps, TowardZero); got != -1 {
+		t.Errorf("neg toward zero: %v", got)
+	}
+}
+
+func TestOverflowBehavior(t *testing.T) {
+	big := math.MaxFloat64
+	got, fl := Add(big, big, NearestEven)
+	if !math.IsInf(got, 1) || !fl.Overflow || !fl.Inexact {
+		t.Errorf("overflow nearest: %v %+v", got, fl)
+	}
+	got2, _ := Add(big, big, TowardZero)
+	if got2 != math.MaxFloat64 {
+		t.Errorf("overflow toward zero must clamp: %v", got2)
+	}
+	got3, _ := Add(-big, -big, TowardPosInf)
+	if got3 != -math.MaxFloat64 {
+		t.Errorf("neg overflow toward +inf must clamp: %v", got3)
+	}
+}
+
+func TestInvalidOperations(t *testing.T) {
+	inf := math.Inf(1)
+	if got, fl := Add(inf, -inf, NearestEven); !math.IsNaN(got) || !fl.Invalid {
+		t.Errorf("Inf-Inf: %v %+v", got, fl)
+	}
+	if got, fl := Mul(0, inf, NearestEven); !math.IsNaN(got) || !fl.Invalid {
+		t.Errorf("0*Inf: %v %+v", got, fl)
+	}
+	if got, fl := FMA(0, inf, 1, NearestEven); !math.IsNaN(got) || !fl.Invalid {
+		t.Errorf("FMA(0,Inf,1): %v %+v", got, fl)
+	}
+	if got, _ := Add(math.NaN(), 1, NearestEven); !math.IsNaN(got) {
+		t.Errorf("NaN propagation: %v", got)
+	}
+}
+
+func TestInfinityPropagation(t *testing.T) {
+	inf := math.Inf(1)
+	if got, _ := Add(inf, 5, NearestEven); !math.IsInf(got, 1) {
+		t.Error("Inf+finite")
+	}
+	if got, _ := Mul(-inf, 2, NearestEven); !math.IsInf(got, -1) {
+		t.Error("-Inf*2")
+	}
+	if got, _ := FMA(2, 3, inf, NearestEven); !math.IsInf(got, 1) {
+		t.Error("FMA with Inf addend")
+	}
+}
+
+func TestSignedZeros(t *testing.T) {
+	nz := math.Copysign(0, -1)
+	if got, _ := Add(nz, nz, NearestEven); !math.Signbit(got) {
+		t.Error("-0 + -0 must be -0")
+	}
+	if got, _ := Add(1, -1, TowardNegInf); !math.Signbit(got) || got != 0 {
+		t.Error("exact cancellation toward -inf must be -0")
+	}
+	if got, _ := Add(1, -1, NearestEven); math.Signbit(got) {
+		t.Error("exact cancellation nearest must be +0")
+	}
+	if got, _ := Mul(nz, 5, NearestEven); !math.Signbit(got) || got != 0 {
+		t.Error("-0 * 5 must be -0")
+	}
+}
+
+func TestSubIsAddOfNegation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randFloat(rng), randFloat(rng)
+		got, _ := Sub(a, b, NearestEven)
+		return math.Float64bits(got) == math.Float64bits(a-b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnderflowFlag(t *testing.T) {
+	tiny := math.Ldexp(1, -1070)
+	_, fl := Mul(tiny, 1.0000000001, NearestEven)
+	if !fl.Underflow || !fl.Inexact {
+		t.Errorf("inexact subnormal must flag underflow: %+v", fl)
+	}
+}
+
+// Dot with serial rounding differs from the exact aggregation the
+// crossbar performs — the §IV-B contrast.
+func TestSerialDotDiffersFromExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 64
+	a := make([]float64, n)
+	x := make([]float64, n)
+	for i := range a {
+		a[i] = randFloat(rng)
+		x[i] = randFloat(rng)
+	}
+	serial, _ := Dot(a, x, NearestEven)
+	// Exact aggregation via FMA into a big accumulator cannot be
+	// expressed with one rounding per step; compare against Kahan-free
+	// hardware loop (identical to Dot by construction).
+	var hw float64
+	for i := range a {
+		hw = math.FMA(a[i], x[i], hw)
+	}
+	if math.Float64bits(serial) != math.Float64bits(hw) {
+		t.Errorf("serial dot %g != hardware FMA loop %g", serial, hw)
+	}
+}

@@ -1,0 +1,286 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"memsci/internal/sparse"
+)
+
+// poisson1D builds the 1D Laplacian: tridiag(-1, 2, -1), SPD.
+func poisson1D(n int) *sparse.CSR {
+	m := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		m.Add(i, i, 2)
+		if i > 0 {
+			m.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			m.Add(i, i+1, -1)
+		}
+	}
+	return m.ToCSR()
+}
+
+// nonsym builds a diagonally dominant nonsymmetric matrix.
+func nonsym(n int, seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	m := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		var off float64
+		for k := 0; k < 4; k++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			v := rng.NormFloat64()
+			m.Add(i, j, v)
+			off += math.Abs(v)
+		}
+		m.Add(i, i, off*1.2+1)
+	}
+	return m.ToCSR()
+}
+
+func residualNorm(m *sparse.CSR, x, b []float64) float64 {
+	return sparse.Norm2(sparse.Residual(m, x, b)) / sparse.Norm2(b)
+}
+
+func TestCGPoisson(t *testing.T) {
+	m := poisson1D(200)
+	b := sparse.Ones(200)
+	res, err := CG(CSROperator{m}, b, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("CG did not converge: %d iters, res %g", res.Iterations, res.Residual)
+	}
+	if rn := residualNorm(m, res.X, b); rn > 1e-9 {
+		t.Errorf("true residual %g", rn)
+	}
+	// 1D Poisson needs ~n iterations.
+	if res.Iterations < 50 || res.Iterations > 220 {
+		t.Errorf("iterations %d implausible for 1D Poisson", res.Iterations)
+	}
+}
+
+func TestCGJacobiPreconditioned(t *testing.T) {
+	// Badly scaled SPD system: Jacobi fixes the scaling.
+	n := 150
+	m := sparse.NewCOO(n, n)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < n; i++ {
+		scale := math.Ldexp(1, rng.Intn(30)-15)
+		m.Add(i, i, 2*scale)
+		if i > 0 {
+			// Symmetric coupling scaled by the geometric mean.
+		}
+	}
+	c := m.ToCSR()
+	b := sparse.Ones(n)
+	plain, err := CG(CSROperator{c}, b, Options{Tol: 1e-12, MaxIter: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prec, err := CG(CSROperator{c}, b, Options{Tol: 1e-12, MaxIter: 500, Diag: c.Diagonal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prec.Converged {
+		t.Fatal("preconditioned CG did not converge")
+	}
+	if prec.Iterations > plain.Iterations {
+		t.Errorf("Jacobi (%d iters) slower than plain (%d) on diagonal system",
+			prec.Iterations, plain.Iterations)
+	}
+	// A diagonal system must converge in one preconditioned iteration.
+	if prec.Iterations != 1 {
+		t.Errorf("diagonal system took %d preconditioned iterations", prec.Iterations)
+	}
+}
+
+func TestBiCGSTABNonsym(t *testing.T) {
+	m := nonsym(300, 5)
+	b := sparse.Ones(300)
+	res, err := BiCGSTAB(CSROperator{m}, b, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("BiCG-STAB did not converge: %d iters", res.Iterations)
+	}
+	if rn := residualNorm(m, res.X, b); rn > 1e-8 {
+		t.Errorf("true residual %g", rn)
+	}
+}
+
+func TestBiCGNonsym(t *testing.T) {
+	m := nonsym(200, 6)
+	b := sparse.Ones(200)
+	res, err := BiCG(CSROperator{m}, b, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("BiCG did not converge: %d iters", res.Iterations)
+	}
+	if rn := residualNorm(m, res.X, b); rn > 1e-8 {
+		t.Errorf("true residual %g", rn)
+	}
+}
+
+func TestGMRESNonsym(t *testing.T) {
+	m := nonsym(200, 7)
+	b := sparse.Ones(200)
+	res, err := GMRES(CSROperator{m}, b, Options{Tol: 1e-10, Restart: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("GMRES did not converge: %d iters, res %g", res.Iterations, res.Residual)
+	}
+	if rn := residualNorm(m, res.X, b); rn > 1e-8 {
+		t.Errorf("true residual %g", rn)
+	}
+}
+
+func TestGMRESPoisson(t *testing.T) {
+	m := poisson1D(120)
+	b := sparse.Ones(120)
+	// Full (unrestarted) GMRES: restarted variants stagnate on Laplacians.
+	res, err := GMRES(CSROperator{m}, b, Options{Tol: 1e-9, Restart: 120, MaxIter: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("GMRES on Poisson did not converge: res %g", res.Residual)
+	}
+	if rn := residualNorm(m, res.X, b); rn > 1e-7 {
+		t.Errorf("true residual %g", rn)
+	}
+}
+
+func TestSolversAgree(t *testing.T) {
+	m := nonsym(150, 8)
+	b := make([]float64, 150)
+	rng := rand.New(rand.NewSource(9))
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	opt := Options{Tol: 1e-12, MaxIter: 4000}
+	r1, err := BiCGSTAB(CSROperator{m}, b, opt)
+	if err != nil || !r1.Converged {
+		t.Fatalf("BiCGSTAB: %v %+v", err, r1)
+	}
+	r2, err := GMRES(CSROperator{m}, b, Options{Tol: 1e-12, Restart: 50, MaxIter: 4000})
+	if err != nil || !r2.Converged {
+		t.Fatalf("GMRES: %v", err)
+	}
+	diff := sparse.Sub(r1.X, r2.X)
+	if sparse.Norm2(diff)/sparse.Norm2(r1.X) > 1e-8 {
+		t.Errorf("solutions disagree by %g", sparse.Norm2(diff)/sparse.Norm2(r1.X))
+	}
+}
+
+func TestZeroRHS(t *testing.T) {
+	m := poisson1D(10)
+	b := sparse.Zeros(10)
+	for name, run := range map[string]func() (*Result, error){
+		"cg":       func() (*Result, error) { return CG(CSROperator{m}, b, DefaultOptions()) },
+		"bicgstab": func() (*Result, error) { return BiCGSTAB(CSROperator{m}, b, DefaultOptions()) },
+		"bicg":     func() (*Result, error) { return BiCG(CSROperator{m}, b, DefaultOptions()) },
+		"gmres":    func() (*Result, error) { return GMRES(CSROperator{m}, b, DefaultOptions()) },
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Converged || res.Iterations != 0 || sparse.Norm2(res.X) != 0 {
+			t.Errorf("%s: zero RHS should converge immediately to zero", name)
+		}
+	}
+}
+
+func TestDimensionMismatch(t *testing.T) {
+	m := poisson1D(5)
+	if _, err := CG(CSROperator{m}, sparse.Ones(4), DefaultOptions()); err == nil {
+		t.Error("dimension mismatch not caught")
+	}
+}
+
+func TestMaxIterCap(t *testing.T) {
+	m := poisson1D(400)
+	res, err := CG(CSROperator{m}, sparse.Ones(400), Options{Tol: 1e-14, MaxIter: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged || res.Iterations != 3 {
+		t.Errorf("cap not honored: %+v", res)
+	}
+}
+
+func TestResidualHistory(t *testing.T) {
+	m := poisson1D(50)
+	res, err := CG(CSROperator{m}, sparse.Ones(50), Options{Tol: 1e-10, RecordResiduals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Residuals) != res.Iterations {
+		t.Fatalf("history length %d vs %d iterations", len(res.Residuals), res.Iterations)
+	}
+	// Final recorded residual must match the result.
+	if res.Residuals[len(res.Residuals)-1] != res.Residual {
+		t.Error("final residual mismatch")
+	}
+}
+
+// The paper's §VII-C claim backbone: the same algorithm over two
+// operators computing at the same precision converges identically.
+func TestIterationCountOperatorInvariance(t *testing.T) {
+	m := poisson1D(100)
+	b := sparse.Ones(100)
+	r1, _ := CG(CSROperator{m}, b, Options{Tol: 1e-10})
+	r2, _ := CG(CSROperator{m.Clone()}, b, Options{Tol: 1e-10})
+	if r1.Iterations != r2.Iterations {
+		t.Errorf("identical operators diverged: %d vs %d", r1.Iterations, r2.Iterations)
+	}
+}
+
+func TestBiCGSTABJacobiPreconditioned(t *testing.T) {
+	// A badly row-scaled nonsymmetric system: plain BiCG-STAB struggles,
+	// the Jacobi-preconditioned variant converges cleanly.
+	rng := rand.New(rand.NewSource(31))
+	n := 250
+	m := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		scale := math.Ldexp(1, rng.Intn(16)-8)
+		var off float64
+		for k := 0; k < 3; k++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			v := -scale * (0.1 + rng.Float64())
+			m.Add(i, j, v)
+			off += math.Abs(v)
+		}
+		m.Add(i, i, off*1.1+scale)
+	}
+	c := m.ToCSR()
+	b := sparse.Ones(n)
+	prec, err := BiCGSTAB(CSROperator{c}, b, Options{Tol: 1e-10, MaxIter: 3000, Diag: c.Diagonal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prec.Converged {
+		t.Fatalf("preconditioned BiCG-STAB did not converge: res %g", prec.Residual)
+	}
+	// The returned x must solve the ORIGINAL system. Left preconditioning
+	// minimizes the scaled residual, so allow the row-scale spread (2^8)
+	// on top of the tolerance.
+	if rn := residualNorm(c, prec.X, b); rn > 1e-6 {
+		t.Errorf("true residual %g", rn)
+	}
+}

@@ -1,0 +1,41 @@
+package sparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadMatrixMarket hardens the parser: arbitrary input must produce
+// an error or a structurally valid matrix, never a panic.
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 3.5\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 1 1\n3 1 -2\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n1 1 1\n1 1\n")
+	f.Add("garbage")
+	f.Add("%%MatrixMarket matrix coordinate real general\n-1 2 1\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n9 9 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		defer func() {
+			if r := recover(); r != nil {
+				// Out-of-range indices panic inside COO.Add by contract;
+				// the parser should turn them into errors instead.
+				t.Fatalf("parser panicked on %q: %v", input, r)
+			}
+		}()
+		m, _, err := ReadMatrixMarket(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		c := m.ToCSR()
+		if c.Rows() < 0 || c.Cols() < 0 {
+			t.Fatalf("negative dims from %q", input)
+		}
+		for i := 0; i < c.Rows(); i++ {
+			for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+				if c.ColIdx[k] < 0 || c.ColIdx[k] >= c.Cols() {
+					t.Fatalf("column index out of range from %q", input)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,166 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// MatrixMarket I/O. The SuiteSparse collection distributes matrices in the
+// MatrixMarket coordinate format; this implementation covers the subset
+// needed for sparse real matrices (general, symmetric, skew-symmetric, and
+// pattern) so that catalog stand-ins can be exported and external matrices
+// imported.
+
+// MMHeader describes the banner line of a MatrixMarket file.
+type MMHeader struct {
+	Object   string // "matrix"
+	Format   string // "coordinate" or "array"
+	Field    string // "real", "integer", "pattern"
+	Symmetry string // "general", "symmetric", "skew-symmetric"
+}
+
+// ReadMatrixMarket parses a MatrixMarket stream into a COO matrix.
+// Symmetric and skew-symmetric storage is expanded to general form.
+func ReadMatrixMarket(r io.Reader) (*COO, MMHeader, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+
+	var hdr MMHeader
+	if !sc.Scan() {
+		return nil, hdr, fmt.Errorf("matrixmarket: empty input")
+	}
+	banner := strings.Fields(strings.ToLower(sc.Text()))
+	if len(banner) < 5 || banner[0] != "%%matrixmarket" {
+		return nil, hdr, fmt.Errorf("matrixmarket: bad banner %q", sc.Text())
+	}
+	hdr = MMHeader{Object: banner[1], Format: banner[2], Field: banner[3], Symmetry: banner[4]}
+	if hdr.Object != "matrix" {
+		return nil, hdr, fmt.Errorf("matrixmarket: unsupported object %q", hdr.Object)
+	}
+	if hdr.Format != "coordinate" {
+		return nil, hdr, fmt.Errorf("matrixmarket: only coordinate format supported, got %q", hdr.Format)
+	}
+	switch hdr.Field {
+	case "real", "integer", "pattern":
+	default:
+		return nil, hdr, fmt.Errorf("matrixmarket: unsupported field %q", hdr.Field)
+	}
+	switch hdr.Symmetry {
+	case "general", "symmetric", "skew-symmetric":
+	default:
+		return nil, hdr, fmt.Errorf("matrixmarket: unsupported symmetry %q", hdr.Symmetry)
+	}
+
+	// Skip comments, read the size line.
+	var rows, cols, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 3 {
+			return nil, hdr, fmt.Errorf("matrixmarket: bad size line %q", line)
+		}
+		var err error
+		if rows, err = strconv.Atoi(f[0]); err != nil {
+			return nil, hdr, fmt.Errorf("matrixmarket: bad row count: %w", err)
+		}
+		if cols, err = strconv.Atoi(f[1]); err != nil {
+			return nil, hdr, fmt.Errorf("matrixmarket: bad col count: %w", err)
+		}
+		if nnz, err = strconv.Atoi(f[2]); err != nil {
+			return nil, hdr, fmt.Errorf("matrixmarket: bad nnz count: %w", err)
+		}
+		break
+	}
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, hdr, fmt.Errorf("matrixmarket: negative size %dx%d nnz %d", rows, cols, nnz)
+	}
+	m := NewCOO(rows, cols)
+	m.Entries = make([]Entry, 0, nnz)
+
+	read := 0
+	for sc.Scan() && read < nnz {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		want := 3
+		if hdr.Field == "pattern" {
+			want = 2
+		}
+		if len(f) < want {
+			return nil, hdr, fmt.Errorf("matrixmarket: bad entry line %q", line)
+		}
+		i, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, hdr, fmt.Errorf("matrixmarket: bad row index: %w", err)
+		}
+		j, err := strconv.Atoi(f[1])
+		if err != nil {
+			return nil, hdr, fmt.Errorf("matrixmarket: bad col index: %w", err)
+		}
+		v := 1.0
+		if hdr.Field != "pattern" {
+			v, err = strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, hdr, fmt.Errorf("matrixmarket: bad value: %w", err)
+			}
+		}
+		i, j = i-1, j-1 // MatrixMarket is 1-based
+		if i < 0 || i >= rows || j < 0 || j >= cols {
+			return nil, hdr, fmt.Errorf("matrixmarket: entry (%d,%d) outside %dx%d", i+1, j+1, rows, cols)
+		}
+		m.Add(i, j, v)
+		switch hdr.Symmetry {
+		case "symmetric":
+			if i != j {
+				m.Add(j, i, v)
+			}
+		case "skew-symmetric":
+			if i != j {
+				m.Add(j, i, -v)
+			}
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, hdr, fmt.Errorf("matrixmarket: read: %w", err)
+	}
+	if read != nnz {
+		return nil, hdr, fmt.Errorf("matrixmarket: expected %d entries, got %d", nnz, read)
+	}
+	return m, hdr, nil
+}
+
+// WriteMatrixMarket writes the matrix in coordinate/real/general form.
+func WriteMatrixMarket(w io.Writer, c *CSR, comment string) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate real general"); err != nil {
+		return err
+	}
+	for _, line := range strings.Split(comment, "\n") {
+		if line == "" {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%% %s\n", line); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", c.Rows(), c.Cols(), c.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < c.Rows(); i++ {
+		for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, c.ColIdx[k]+1, c.Vals[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,110 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewCOO(10, 8)
+	for k := 0; k < 25; k++ {
+		m.Add(rng.Intn(10), rng.Intn(8), rng.NormFloat64()*1e10)
+	}
+	c := m.ToCSR()
+
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, c, "test matrix\nsecond line"); err != nil {
+		t.Fatal(err)
+	}
+	got, hdr, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Field != "real" || hdr.Symmetry != "general" {
+		t.Errorf("header %+v", hdr)
+	}
+	gc := got.ToCSR()
+	if gc.Rows() != c.Rows() || gc.Cols() != c.Cols() || gc.NNZ() != c.NNZ() {
+		t.Fatalf("shape mismatch %s vs %s", gc.Dims(), c.Dims())
+	}
+	for i := 0; i < c.Rows(); i++ {
+		for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+			if gc.At(i, c.ColIdx[k]) != c.Vals[k] {
+				t.Fatalf("value mismatch at (%d,%d)", i, c.ColIdx[k])
+			}
+		}
+	}
+}
+
+func TestMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+% comment
+3 3 3
+1 1 2.0
+2 1 -1.0
+3 3 4.0
+`
+	m, hdr, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Symmetry != "symmetric" {
+		t.Errorf("symmetry %q", hdr.Symmetry)
+	}
+	c := m.ToCSR()
+	if c.NNZ() != 4 { // mirror of (2,1) added
+		t.Errorf("nnz = %d want 4", c.NNZ())
+	}
+	if c.At(0, 1) != -1 || c.At(1, 0) != -1 {
+		t.Errorf("mirror missing: %g %g", c.At(0, 1), c.At(1, 0))
+	}
+}
+
+func TestMatrixMarketSkewSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 3.0
+`
+	m, _, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.ToCSR()
+	if c.At(1, 0) != 3 || c.At(0, 1) != -3 {
+		t.Errorf("skew mirror: %g %g", c.At(1, 0), c.At(0, 1))
+	}
+}
+
+func TestMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 1
+2 2
+`
+	m, _, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.ToCSR()
+	if c.At(0, 0) != 1 || c.At(1, 1) != 1 {
+		t.Errorf("pattern values: %g %g", c.At(0, 0), c.At(1, 1))
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2\n",
+		"%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n", // missing entry
+		"%%MatrixMarket matrix coordinate real general\nnot a size line\n",
+	}
+	for i, in := range cases {
+		if _, _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

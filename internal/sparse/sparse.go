@@ -1,0 +1,432 @@
+// Package sparse provides the sparse and dense linear-algebra substrate
+// used throughout the accelerator: coordinate (COO) and compressed sparse
+// row (CSR) matrix formats, MatrixMarket I/O, dense vector kernels, and
+// structural analyses (symmetry, diagonal dominance, bandwidth, exponent
+// statistics) that the blocking preprocessor and the workload generators
+// rely on.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Entry is a single nonzero in coordinate form.
+type Entry struct {
+	Row, Col int
+	Val      float64
+}
+
+// COO is a coordinate-format sparse matrix under construction. Duplicate
+// entries are allowed until Compact or ToCSR is called, at which point
+// duplicates at the same coordinate are summed, matching MatrixMarket
+// assembly semantics.
+type COO struct {
+	Rows, Cols int
+	Entries    []Entry
+}
+
+// NewCOO returns an empty COO matrix with the given dimensions.
+func NewCOO(rows, cols int) *COO {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("sparse: negative dimension %dx%d", rows, cols))
+	}
+	return &COO{Rows: rows, Cols: cols}
+}
+
+// Add appends a nonzero. Zero values are kept so that explicitly stored
+// zeros survive (some collections store them); callers that want them
+// gone use DropZeros.
+func (m *COO) Add(row, col int, val float64) {
+	if row < 0 || row >= m.Rows || col < 0 || col >= m.Cols {
+		panic(fmt.Sprintf("sparse: entry (%d,%d) outside %dx%d", row, col, m.Rows, m.Cols))
+	}
+	m.Entries = append(m.Entries, Entry{Row: row, Col: col, Val: val})
+}
+
+// AddSym appends a nonzero and, when off-diagonal, its transpose mirror.
+func (m *COO) AddSym(row, col int, val float64) {
+	m.Add(row, col, val)
+	if row != col {
+		m.Add(col, row, val)
+	}
+}
+
+// NNZ reports the current number of stored entries (before compaction this
+// may count duplicates).
+func (m *COO) NNZ() int { return len(m.Entries) }
+
+// Compact sorts entries into row-major order and sums duplicates in place.
+func (m *COO) Compact() {
+	if len(m.Entries) == 0 {
+		return
+	}
+	sort.Slice(m.Entries, func(i, j int) bool {
+		a, b := m.Entries[i], m.Entries[j]
+		if a.Row != b.Row {
+			return a.Row < b.Row
+		}
+		return a.Col < b.Col
+	})
+	out := m.Entries[:1]
+	for _, e := range m.Entries[1:] {
+		last := &out[len(out)-1]
+		if e.Row == last.Row && e.Col == last.Col {
+			last.Val += e.Val
+			continue
+		}
+		out = append(out, e)
+	}
+	m.Entries = out
+}
+
+// DropZeros removes entries whose value is exactly zero.
+func (m *COO) DropZeros() {
+	out := m.Entries[:0]
+	for _, e := range m.Entries {
+		if e.Val != 0 {
+			out = append(out, e)
+		}
+	}
+	m.Entries = out
+}
+
+// ToCSR compacts the matrix and converts it to CSR.
+func (m *COO) ToCSR() *CSR {
+	m.Compact()
+	c := &CSR{
+		RowsN:  m.Rows,
+		ColsN:  m.Cols,
+		RowPtr: make([]int, m.Rows+1),
+		ColIdx: make([]int, len(m.Entries)),
+		Vals:   make([]float64, len(m.Entries)),
+	}
+	for _, e := range m.Entries {
+		c.RowPtr[e.Row+1]++
+	}
+	for i := 0; i < m.Rows; i++ {
+		c.RowPtr[i+1] += c.RowPtr[i]
+	}
+	fill := make([]int, m.Rows)
+	copy(fill, c.RowPtr[:m.Rows])
+	for _, e := range m.Entries {
+		p := fill[e.Row]
+		c.ColIdx[p] = e.Col
+		c.Vals[p] = e.Val
+		fill[e.Row] = p + 1
+	}
+	return c
+}
+
+// CSR is a compressed-sparse-row matrix: the format used by the local
+// processor for unblocked elements (§VI-A1 of the paper) and by the GPU
+// baseline model.
+type CSR struct {
+	RowsN, ColsN int
+	RowPtr       []int     // length RowsN+1
+	ColIdx       []int     // length NNZ, sorted within each row
+	Vals         []float64 // length NNZ
+}
+
+// Rows returns the number of matrix rows.
+func (c *CSR) Rows() int { return c.RowsN }
+
+// Cols returns the number of matrix columns.
+func (c *CSR) Cols() int { return c.ColsN }
+
+// NNZ returns the number of stored nonzeros.
+func (c *CSR) NNZ() int { return len(c.Vals) }
+
+// At returns the value at (row, col); absent coordinates read as zero.
+func (c *CSR) At(row, col int) float64 {
+	start, end := c.RowPtr[row], c.RowPtr[row+1]
+	idx := c.ColIdx[start:end]
+	k := sort.SearchInts(idx, col)
+	if k < len(idx) && idx[k] == col {
+		return c.Vals[start+k]
+	}
+	return 0
+}
+
+// RowNNZ returns the number of nonzeros in a matrix row.
+func (c *CSR) RowNNZ(row int) int { return c.RowPtr[row+1] - c.RowPtr[row] }
+
+// Row returns the column indices and values of one row, aliasing the
+// underlying storage.
+func (c *CSR) Row(row int) ([]int, []float64) {
+	start, end := c.RowPtr[row], c.RowPtr[row+1]
+	return c.ColIdx[start:end], c.Vals[start:end]
+}
+
+// MulVec computes y = A·x.
+func (c *CSR) MulVec(y, x []float64) {
+	if len(x) != c.ColsN || len(y) != c.RowsN {
+		panic(fmt.Sprintf("sparse: MulVec dims y[%d]=A[%dx%d]·x[%d]", len(y), c.RowsN, c.ColsN, len(x)))
+	}
+	for i := 0; i < c.RowsN; i++ {
+		sum := 0.0
+		for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+			sum += c.Vals[k] * x[c.ColIdx[k]]
+		}
+		y[i] = sum
+	}
+}
+
+// MulVecAdd computes y += A·x.
+func (c *CSR) MulVecAdd(y, x []float64) {
+	for i := 0; i < c.RowsN; i++ {
+		sum := 0.0
+		for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+			sum += c.Vals[k] * x[c.ColIdx[k]]
+		}
+		y[i] += sum
+	}
+}
+
+// MulVecT computes y = Aᵀ·x, needed by BiCG.
+func (c *CSR) MulVecT(y, x []float64) {
+	if len(x) != c.RowsN || len(y) != c.ColsN {
+		panic(fmt.Sprintf("sparse: MulVecT dims y[%d]=Aᵀ[%dx%d]·x[%d]", len(y), c.ColsN, c.RowsN, len(x)))
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for i := 0; i < c.RowsN; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+			y[c.ColIdx[k]] += c.Vals[k] * xi
+		}
+	}
+}
+
+// Transpose returns Aᵀ as a new CSR matrix.
+func (c *CSR) Transpose() *CSR {
+	t := &CSR{
+		RowsN:  c.ColsN,
+		ColsN:  c.RowsN,
+		RowPtr: make([]int, c.ColsN+1),
+		ColIdx: make([]int, c.NNZ()),
+		Vals:   make([]float64, c.NNZ()),
+	}
+	for _, j := range c.ColIdx {
+		t.RowPtr[j+1]++
+	}
+	for j := 0; j < c.ColsN; j++ {
+		t.RowPtr[j+1] += t.RowPtr[j]
+	}
+	fill := make([]int, c.ColsN)
+	copy(fill, t.RowPtr[:c.ColsN])
+	for i := 0; i < c.RowsN; i++ {
+		for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+			j := c.ColIdx[k]
+			p := fill[j]
+			t.ColIdx[p] = i
+			t.Vals[p] = c.Vals[k]
+			fill[j] = p + 1
+		}
+	}
+	return t
+}
+
+// ToCOO converts back to coordinate form (sorted, no duplicates).
+func (c *CSR) ToCOO() *COO {
+	m := NewCOO(c.RowsN, c.ColsN)
+	m.Entries = make([]Entry, 0, c.NNZ())
+	for i := 0; i < c.RowsN; i++ {
+		for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+			m.Entries = append(m.Entries, Entry{Row: i, Col: c.ColIdx[k], Val: c.Vals[k]})
+		}
+	}
+	return m
+}
+
+// Clone returns a deep copy.
+func (c *CSR) Clone() *CSR {
+	n := &CSR{
+		RowsN:  c.RowsN,
+		ColsN:  c.ColsN,
+		RowPtr: append([]int(nil), c.RowPtr...),
+		ColIdx: append([]int(nil), c.ColIdx...),
+		Vals:   append([]float64(nil), c.Vals...),
+	}
+	return n
+}
+
+// Diagonal extracts the main diagonal into a new slice.
+func (c *CSR) Diagonal() []float64 {
+	n := c.RowsN
+	if c.ColsN < n {
+		n = c.ColsN
+	}
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d[i] = c.At(i, i)
+	}
+	return d
+}
+
+// IsSymmetric reports whether the matrix equals its transpose within a
+// relative tolerance tol (tol 0 demands exact equality).
+func (c *CSR) IsSymmetric(tol float64) bool {
+	if c.RowsN != c.ColsN {
+		return false
+	}
+	t := c.Transpose()
+	if len(t.Vals) != len(c.Vals) {
+		return false
+	}
+	for i := 0; i < c.RowsN; i++ {
+		if c.RowPtr[i] != t.RowPtr[i] {
+			return false
+		}
+		for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+			if c.ColIdx[k] != t.ColIdx[k] {
+				return false
+			}
+			a, b := c.Vals[k], t.Vals[k]
+			if a == b {
+				continue
+			}
+			scale := math.Max(math.Abs(a), math.Abs(b))
+			if math.Abs(a-b) > tol*scale {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsDiagonallyDominant reports whether |a_ii| ≥ Σ_{j≠i}|a_ij| for all rows,
+// and strictly greater for at least one row.
+func (c *CSR) IsDiagonallyDominant() bool {
+	if c.RowsN != c.ColsN {
+		return false
+	}
+	strict := false
+	for i := 0; i < c.RowsN; i++ {
+		var diag, off float64
+		for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+			if c.ColIdx[k] == i {
+				diag = math.Abs(c.Vals[k])
+			} else {
+				off += math.Abs(c.Vals[k])
+			}
+		}
+		if diag < off {
+			return false
+		}
+		if diag > off {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Bandwidth returns the maximum |i-j| over stored nonzeros.
+func (c *CSR) Bandwidth() int {
+	bw := 0
+	for i := 0; i < c.RowsN; i++ {
+		for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+			d := c.ColIdx[k] - i
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}
+
+// Density returns NNZ / (rows·cols).
+func (c *CSR) Density() float64 {
+	if c.RowsN == 0 || c.ColsN == 0 {
+		return 0
+	}
+	return float64(c.NNZ()) / (float64(c.RowsN) * float64(c.ColsN))
+}
+
+// ErrNotFinite is returned by CheckFinite when a stored value is Inf or NaN.
+// The accelerator requires all inputs to be finite (§IV-D of the paper).
+var ErrNotFinite = errors.New("sparse: matrix contains Inf or NaN")
+
+// CheckFinite verifies that every stored value is a finite float64.
+func (c *CSR) CheckFinite() error {
+	for _, v := range c.Vals {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			return ErrNotFinite
+		}
+	}
+	return nil
+}
+
+// ExponentRange returns the minimum and maximum unbiased binary exponents
+// over the stored nonzeros (as by math.Frexp, exponent of the leading 1).
+// ok is false when the matrix stores no finite nonzero.
+func (c *CSR) ExponentRange() (min, max int, ok bool) {
+	min, max = math.MaxInt32, math.MinInt32
+	for _, v := range c.Vals {
+		if v == 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			continue
+		}
+		e := Exponent(v)
+		if e < min {
+			min = e
+		}
+		if e > max {
+			max = e
+		}
+	}
+	if min > max {
+		return 0, 0, false
+	}
+	return min, max, true
+}
+
+// Exponent returns the unbiased power-of-two exponent of the leading
+// binary digit of |v|: Exponent(1.5)=0, Exponent(0.5)=-1, Exponent(8)=3.
+// v must be nonzero and finite.
+func Exponent(v float64) int {
+	_, e := math.Frexp(v)
+	return e - 1
+}
+
+// Dims formats the dimensions as "RxC".
+func (c *CSR) Dims() string { return fmt.Sprintf("%dx%d", c.RowsN, c.ColsN) }
+
+// JacobiScale normalizes the system in place: symmetric diagonal scaling
+// D^{-1/2}·A·D^{-1/2} when spd is set (preserves symmetry and positive
+// definiteness), row scaling D^{-1}·A otherwise. Returns the scaling
+// vector s (the right-hand side must be scaled as b_i·s_i, and for the
+// symmetric case the solution x must be rescaled as x_i·s_i afterwards).
+// All diagonal entries must be positive.
+func (c *CSR) JacobiScale(spd bool) ([]float64, error) {
+	d := c.Diagonal()
+	s := make([]float64, len(d))
+	for i, v := range d {
+		if v <= 0 {
+			return nil, fmt.Errorf("sparse: JacobiScale needs positive diagonal, got %g at %d", v, i)
+		}
+		if spd {
+			s[i] = 1 / math.Sqrt(v)
+		} else {
+			s[i] = 1 / v
+		}
+	}
+	for i := 0; i < c.RowsN; i++ {
+		for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+			if spd {
+				c.Vals[k] *= s[i] * s[c.ColIdx[k]]
+			} else {
+				c.Vals[k] *= s[i]
+			}
+		}
+	}
+	return s, nil
+}

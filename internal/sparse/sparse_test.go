@@ -1,0 +1,308 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildTestCSR(t *testing.T) *CSR {
+	t.Helper()
+	m := NewCOO(3, 4)
+	m.Add(0, 0, 1)
+	m.Add(0, 2, 2)
+	m.Add(1, 1, 3)
+	m.Add(2, 0, 4)
+	m.Add(2, 3, 5)
+	return m.ToCSR()
+}
+
+func TestCOOToCSR(t *testing.T) {
+	c := buildTestCSR(t)
+	if c.Rows() != 3 || c.Cols() != 4 || c.NNZ() != 5 {
+		t.Fatalf("dims %s nnz %d", c.Dims(), c.NNZ())
+	}
+	want := [][]float64{
+		{1, 0, 2, 0},
+		{0, 3, 0, 0},
+		{4, 0, 0, 5},
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got := c.At(i, j); got != want[i][j] {
+				t.Errorf("At(%d,%d) = %g want %g", i, j, got, want[i][j])
+			}
+		}
+	}
+}
+
+func TestCOODuplicatesSummed(t *testing.T) {
+	m := NewCOO(2, 2)
+	m.Add(0, 1, 1.5)
+	m.Add(0, 1, 2.5)
+	m.Add(1, 0, -1)
+	c := m.ToCSR()
+	if c.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2", c.NNZ())
+	}
+	if got := c.At(0, 1); got != 4 {
+		t.Errorf("duplicate sum = %g, want 4", got)
+	}
+}
+
+func TestDropZeros(t *testing.T) {
+	m := NewCOO(2, 2)
+	m.Add(0, 0, 0)
+	m.Add(1, 1, 2)
+	m.DropZeros()
+	if m.NNZ() != 1 {
+		t.Errorf("NNZ after DropZeros = %d", m.NNZ())
+	}
+}
+
+func TestAddSym(t *testing.T) {
+	m := NewCOO(3, 3)
+	m.AddSym(0, 1, 7)
+	m.AddSym(2, 2, 3)
+	c := m.ToCSR()
+	if c.At(0, 1) != 7 || c.At(1, 0) != 7 {
+		t.Errorf("AddSym mirror missing")
+	}
+	if c.At(2, 2) != 3 || c.NNZ() != 3 {
+		t.Errorf("AddSym diagonal wrong: nnz=%d", c.NNZ())
+	}
+}
+
+func TestAddOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range entry")
+		}
+	}()
+	NewCOO(2, 2).Add(2, 0, 1)
+}
+
+func TestMulVec(t *testing.T) {
+	c := buildTestCSR(t)
+	x := []float64{1, 2, 3, 4}
+	y := make([]float64, 3)
+	c.MulVec(y, x)
+	want := []float64{7, 6, 24}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("y[%d] = %g want %g", i, y[i], want[i])
+		}
+	}
+}
+
+func TestMulVecT(t *testing.T) {
+	c := buildTestCSR(t)
+	x := []float64{1, 2, 3}
+	y := make([]float64, 4)
+	c.MulVecT(y, x)
+	// Aᵀx: col0: 1·1+4·3=13; col1: 3·2=6; col2: 2·1=2; col3: 5·3=15
+	want := []float64{13, 6, 2, 15}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("yT[%d] = %g want %g", i, y[i], want[i])
+		}
+	}
+}
+
+func TestMulVecAdd(t *testing.T) {
+	c := buildTestCSR(t)
+	x := []float64{1, 2, 3, 4}
+	y := []float64{10, 10, 10}
+	c.MulVecAdd(y, x)
+	want := []float64{17, 16, 34}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("y[%d] = %g want %g", i, y[i], want[i])
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewCOO(20, 15)
+	for k := 0; k < 60; k++ {
+		m.Add(rng.Intn(20), rng.Intn(15), rng.NormFloat64())
+	}
+	c := m.ToCSR()
+	tt := c.Transpose().Transpose()
+	if tt.Rows() != c.Rows() || tt.Cols() != c.Cols() || tt.NNZ() != c.NNZ() {
+		t.Fatalf("transpose² changed shape")
+	}
+	for i := 0; i < c.Rows(); i++ {
+		for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+			if tt.At(i, c.ColIdx[k]) != c.Vals[k] {
+				t.Fatalf("transpose² changed values")
+			}
+		}
+	}
+}
+
+func TestTransposeMatchesMulVecT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewCOO(12, 9)
+	for k := 0; k < 40; k++ {
+		m.Add(rng.Intn(12), rng.Intn(9), rng.NormFloat64())
+	}
+	c := m.ToCSR()
+	ct := c.Transpose()
+	x := make([]float64, 12)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y1 := make([]float64, 9)
+	y2 := make([]float64, 9)
+	c.MulVecT(y1, x)
+	ct.MulVec(y2, x)
+	for i := range y1 {
+		if math.Abs(y1[i]-y2[i]) > 1e-14 {
+			t.Fatalf("MulVecT mismatch at %d: %g vs %g", i, y1[i], y2[i])
+		}
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	m := NewCOO(3, 3)
+	m.AddSym(0, 1, 2)
+	m.AddSym(1, 2, -3)
+	m.Add(0, 0, 1)
+	c := m.ToCSR()
+	if !c.IsSymmetric(0) {
+		t.Error("symmetric matrix reported asymmetric")
+	}
+	m2 := NewCOO(3, 3)
+	m2.Add(0, 1, 2)
+	c2 := m2.ToCSR()
+	if c2.IsSymmetric(0) {
+		t.Error("asymmetric matrix reported symmetric")
+	}
+}
+
+func TestIsDiagonallyDominant(t *testing.T) {
+	m := NewCOO(2, 2)
+	m.Add(0, 0, 3)
+	m.Add(0, 1, -2)
+	m.Add(1, 0, 1)
+	m.Add(1, 1, 2)
+	if !m.ToCSR().IsDiagonallyDominant() {
+		t.Error("dominant matrix not recognized")
+	}
+	m2 := NewCOO(2, 2)
+	m2.Add(0, 0, 1)
+	m2.Add(0, 1, -2)
+	m2.Add(1, 1, 5)
+	if m2.ToCSR().IsDiagonallyDominant() {
+		t.Error("non-dominant matrix accepted")
+	}
+}
+
+func TestBandwidthAndDensity(t *testing.T) {
+	c := buildTestCSR(t)
+	if bw := c.Bandwidth(); bw != 2 {
+		t.Errorf("bandwidth = %d want 2", bw)
+	}
+	if d := c.Density(); math.Abs(d-5.0/12) > 1e-15 {
+		t.Errorf("density = %g", d)
+	}
+}
+
+func TestCheckFinite(t *testing.T) {
+	m := NewCOO(1, 2)
+	m.Add(0, 0, math.Inf(1))
+	if err := m.ToCSR().CheckFinite(); err == nil {
+		t.Error("Inf not detected")
+	}
+	m2 := NewCOO(1, 1)
+	m2.Add(0, 0, 1)
+	if err := m2.ToCSR().CheckFinite(); err != nil {
+		t.Errorf("finite matrix rejected: %v", err)
+	}
+}
+
+func TestExponentRange(t *testing.T) {
+	m := NewCOO(1, 3)
+	m.Add(0, 0, 1.5)  // exp 0
+	m.Add(0, 1, 8)    // exp 3
+	m.Add(0, 2, 0.25) // exp -2
+	min, max, ok := m.ToCSR().ExponentRange()
+	if !ok || min != -2 || max != 3 {
+		t.Errorf("ExponentRange = %d..%d ok=%v", min, max, ok)
+	}
+	empty := NewCOO(1, 1).ToCSR()
+	if _, _, ok := empty.ExponentRange(); ok {
+		t.Error("empty matrix reported a range")
+	}
+}
+
+func TestDiagonal(t *testing.T) {
+	m := NewCOO(3, 3)
+	m.Add(0, 0, 5)
+	m.Add(2, 2, -1)
+	m.Add(1, 0, 9)
+	d := m.ToCSR().Diagonal()
+	if d[0] != 5 || d[1] != 0 || d[2] != -1 {
+		t.Errorf("Diagonal = %v", d)
+	}
+}
+
+func TestClone(t *testing.T) {
+	c := buildTestCSR(t)
+	cl := c.Clone()
+	cl.Vals[0] = 99
+	if c.Vals[0] == 99 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestRowAccess(t *testing.T) {
+	c := buildTestCSR(t)
+	idx, vals := c.Row(2)
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 3 || vals[0] != 4 || vals[1] != 5 {
+		t.Errorf("Row(2) = %v %v", idx, vals)
+	}
+	if c.RowNNZ(1) != 1 {
+		t.Errorf("RowNNZ(1) = %d", c.RowNNZ(1))
+	}
+}
+
+// Property: ToCSR ∘ ToCOO round trips.
+func TestCSRCOORoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		m := NewCOO(n, n)
+		for k := 0; k < rng.Intn(50); k++ {
+			m.Add(rng.Intn(n), rng.Intn(n), rng.NormFloat64())
+		}
+		c := m.ToCSR()
+		c2 := c.ToCOO().ToCSR()
+		if c.NNZ() != c2.NNZ() {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+				if c2.At(i, c.ColIdx[k]) != c.Vals[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExponentFunc(t *testing.T) {
+	cases := map[float64]int{1: 0, 2: 1, 3: 1, 0.5: -1, 1024: 10, -6: 2}
+	for v, e := range cases {
+		if got := Exponent(v); got != e {
+			t.Errorf("Exponent(%g) = %d want %d", v, got, e)
+		}
+	}
+}

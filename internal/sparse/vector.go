@@ -1,0 +1,123 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns x·y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("sparse: Dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	sum := 0.0
+	for i, v := range x {
+		sum += v * y[i]
+	}
+	return sum
+}
+
+// Axpy computes y ← a·x + y, the dense-vector sum kernel of §VI.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("sparse: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// Scale computes x ← a·x.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Norm2 returns the Euclidean norm with overflow-safe scaling.
+func Norm2(x []float64) float64 {
+	var scale, ssq float64 = 0, 1
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		av := math.Abs(v)
+		if scale < av {
+			r := scale / av
+			ssq = 1 + ssq*r*r
+			scale = av
+		} else {
+			r := av / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormInf returns max|x_i|.
+func NormInf(x []float64) float64 {
+	m := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// CopyVec returns a copy of x.
+func CopyVec(x []float64) []float64 {
+	y := make([]float64, len(x))
+	copy(y, x)
+	return y
+}
+
+// Ones returns a length-n vector of all ones: the b vector used when the
+// collection provides none (§VII-C).
+func Ones(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	return x
+}
+
+// Zeros returns a length-n zero vector.
+func Zeros(n int) []float64 { return make([]float64, n) }
+
+// Sub computes z = x - y into a new vector.
+func Sub(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("sparse: Sub length mismatch %d vs %d", len(x), len(y)))
+	}
+	z := make([]float64, len(x))
+	for i := range x {
+		z[i] = x[i] - y[i]
+	}
+	return z
+}
+
+// Residual returns b - A·x as a new vector.
+func Residual(a *CSR, x, b []float64) []float64 {
+	r := make([]float64, a.Rows())
+	a.MulVec(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	return r
+}
+
+// VectorDensity returns the fraction of nonzero entries in x. The paper
+// notes iterative-solver vectors are 30-100% dense (§II-A).
+func VectorDensity(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	nz := 0
+	for _, v := range x {
+		if v != 0 {
+			nz++
+		}
+	}
+	return float64(nz) / float64(len(x))
+}

@@ -1,0 +1,107 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDotAxpyScale(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if d := Dot(x, y); d != 32 {
+		t.Errorf("Dot = %g", d)
+	}
+	z := CopyVec(y)
+	Axpy(2, x, z)
+	want := []float64{6, 9, 12}
+	for i := range want {
+		if z[i] != want[i] {
+			t.Errorf("Axpy z[%d] = %g", i, z[i])
+		}
+	}
+	Scale(0.5, z)
+	for i := range want {
+		if z[i] != want[i]/2 {
+			t.Errorf("Scale z[%d] = %g", i, z[i])
+		}
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorm2(t *testing.T) {
+	if n := Norm2([]float64{3, 4}); math.Abs(n-5) > 1e-15 {
+		t.Errorf("Norm2 = %g", n)
+	}
+	if n := Norm2(nil); n != 0 {
+		t.Errorf("Norm2(nil) = %g", n)
+	}
+	// Overflow safety: plain sum of squares would overflow.
+	big := []float64{1e200, 1e200}
+	if n := Norm2(big); math.IsInf(n, 0) || math.Abs(n-1e200*math.Sqrt2) > 1e186 {
+		t.Errorf("Norm2 overflow-safe = %g", n)
+	}
+}
+
+func TestNormInf(t *testing.T) {
+	if n := NormInf([]float64{-7, 3, 5}); n != 7 {
+		t.Errorf("NormInf = %g", n)
+	}
+}
+
+func TestOnesZerosSub(t *testing.T) {
+	o := Ones(3)
+	z := Zeros(3)
+	s := Sub(o, z)
+	for i := range s {
+		if o[i] != 1 || z[i] != 0 || s[i] != 1 {
+			t.Errorf("Ones/Zeros/Sub wrong at %d", i)
+		}
+	}
+}
+
+func TestResidual(t *testing.T) {
+	m := NewCOO(2, 2)
+	m.Add(0, 0, 2)
+	m.Add(1, 1, 3)
+	c := m.ToCSR()
+	r := Residual(c, []float64{1, 1}, []float64{5, 5})
+	if r[0] != 3 || r[1] != 2 {
+		t.Errorf("Residual = %v", r)
+	}
+}
+
+func TestVectorDensity(t *testing.T) {
+	if d := VectorDensity([]float64{0, 1, 0, 2}); d != 0.5 {
+		t.Errorf("VectorDensity = %g", d)
+	}
+	if d := VectorDensity(nil); d != 0 {
+		t.Errorf("VectorDensity(nil) = %g", d)
+	}
+}
+
+// Property: Norm2(x)² ≈ Dot(x, x).
+func TestNorm2MatchesDot(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, 1+rng.Intn(40))
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		n := Norm2(x)
+		d := Dot(x, x)
+		return math.Abs(n*n-d) <= 1e-12*math.Max(1, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package xbar
+
+import "math/bits"
+
+// ADC models the pipelined SAR analog-to-digital converter attached to
+// each crossbar (§V, §VII-A): its resolution is set by the worst-case
+// column sum, CIC statically removes one bit, and ADC headstart skips
+// leading SAR steps that cannot produce a 1 given the column's stored
+// weight (§V-B2).
+type ADC struct {
+	// Resolution is the number of SAR bit decisions available.
+	Resolution int
+	// Headstart enables pre-setting the SAR search to the highest bit
+	// position the column can produce, reducing conversion energy (it
+	// does not change latency, which is synchronous, §V-B2).
+	Headstart bool
+}
+
+// RequiredResolution returns the ADC resolution needed for a crossbar
+// with the given number of input rows and bits per cell: the maximum
+// column sum is rows·(2^bits−1), needing ⌈log2(max+1)⌉ bits, and CIC
+// reduces that by one for single-bit planes (§V-B2: log2(N)−1).
+func RequiredResolution(rows, bitsPerCell int, cic bool) int {
+	max := rows * (1<<bitsPerCell - 1)
+	res := bits.Len(uint(max)) // ⌈log2(max+1)⌉ for max ≥ 1
+	if cic && bitsPerCell == 1 {
+		res--
+	}
+	if res < 1 {
+		res = 1
+	}
+	return res
+}
+
+// ConversionBits returns the number of SAR steps spent converting a
+// column whose output is bounded by maxPossible. With headstart the SAR
+// starts at the most significant bit position that bound allows; without
+// it, all Resolution steps are taken.
+func (a ADC) ConversionBits(maxPossible int) int {
+	if !a.Headstart {
+		return a.Resolution
+	}
+	need := bits.Len(uint(maxPossible))
+	if need > a.Resolution {
+		need = a.Resolution
+	}
+	if need < 1 {
+		need = 1
+	}
+	return need
+}

@@ -1,0 +1,92 @@
+// Package xbar models the memristive crossbar arrays and their mixed-signal
+// periphery: bit-plane storage, analog column sums observed through
+// sample-and-hold + SAR ADC, computational invert coding (CIC), and ADC
+// headstart (§III-B and §V-B2 of the paper). Planes are functional — they
+// produce exact digital column sums — with an optional device-error model
+// that perturbs the sums the way a real array would.
+package xbar
+
+import "math/bits"
+
+// Bitmap is a fixed-length bit vector over crossbar input rows, used both
+// for stored single-bit cell columns and for applied vector bit slices.
+type Bitmap struct {
+	n     int
+	words []uint64
+}
+
+// NewBitmap returns an all-zero bitmap of n bits.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the number of bits.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set sets bit i to v.
+func (b *Bitmap) Set(i int, v bool) {
+	if i < 0 || i >= b.n {
+		panic("xbar: bitmap index out of range")
+	}
+	if v {
+		b.words[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		b.words[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// Get returns bit i.
+func (b *Bitmap) Get(i int) bool {
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// PopCount returns the number of set bits.
+func (b *Bitmap) PopCount() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AndPopCount returns popcount(b AND x) without materializing the AND.
+func (b *Bitmap) AndPopCount(x *Bitmap) int {
+	if b.n != x.n {
+		panic("xbar: bitmap length mismatch")
+	}
+	c := 0
+	for i, w := range b.words {
+		c += bits.OnesCount64(w & x.words[i])
+	}
+	return c
+}
+
+// Invert flips every bit (used by computational invert coding).
+func (b *Bitmap) Invert() {
+	for i := range b.words {
+		b.words[i] = ^b.words[i]
+	}
+	// Clear padding bits beyond n.
+	if rem := uint(b.n) & 63; rem != 0 {
+		b.words[len(b.words)-1] &= (1 << rem) - 1
+	}
+}
+
+// Clone returns a deep copy.
+func (b *Bitmap) Clone() *Bitmap {
+	c := &Bitmap{n: b.n, words: make([]uint64, len(b.words))}
+	copy(c.words, b.words)
+	return c
+}
+
+// Clear zeroes all bits.
+func (b *Bitmap) Clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Words exposes the raw word storage for fused multi-bitmap operations.
+func (b *Bitmap) Words() []uint64 { return b.words }
+
+func onesCount64(w uint64) int { return bits.OnesCount64(w) }

@@ -1,0 +1,205 @@
+package xbar
+
+import (
+	"fmt"
+
+	"memsci/internal/device"
+)
+
+// Plane is one bit-slice crossbar of a cluster: it stores, for every
+// output column (one per matrix row of the block), the cells holding one
+// slice of the AN-coded fixed-point operands. With single-bit cells a
+// plane holds exactly one bit of each operand; with B-bit cells it holds
+// B consecutive bits as a level in [0, 2^B).
+//
+// Orientation follows the paper's memory-systems convention (§II-A,
+// footnote 1): matrix rows map to crossbar *columns*; the input vector is
+// applied on crossbar *rows*, one per matrix column of the block.
+//
+// Storage is one bitmap per level bit per output column, so a column sum
+// Σ_j level(i,j)·x_j reduces to B AND-popcounts — the digital equivalent
+// of the analog current summation.
+type Plane struct {
+	outputs     int // crossbar columns = matrix rows in the block
+	inputs      int // crossbar rows    = matrix columns in the block
+	bitsPerCell int
+
+	// bits[b][i] holds bit b of every cell level in output column i.
+	bits [][]*Bitmap
+
+	inverted []bool // CIC flag per output column (single-bit planes only)
+	weight   []int  // Σ stored levels per output column (post-inversion)
+}
+
+// NewPlane allocates an empty plane.
+func NewPlane(outputs, inputs, bitsPerCell int) *Plane {
+	if bitsPerCell < 1 {
+		panic("xbar: bitsPerCell must be >= 1")
+	}
+	p := &Plane{
+		outputs:     outputs,
+		inputs:      inputs,
+		bitsPerCell: bitsPerCell,
+		inverted:    make([]bool, outputs),
+		weight:      make([]int, outputs),
+		bits:        make([][]*Bitmap, bitsPerCell),
+	}
+	for b := range p.bits {
+		p.bits[b] = make([]*Bitmap, outputs)
+		for i := range p.bits[b] {
+			p.bits[b][i] = NewBitmap(inputs)
+		}
+	}
+	return p
+}
+
+// Outputs returns the number of output columns.
+func (p *Plane) Outputs() int { return p.outputs }
+
+// Inputs returns the number of input rows.
+func (p *Plane) Inputs() int { return p.inputs }
+
+// BitsPerCell returns the cell resolution.
+func (p *Plane) BitsPerCell() int { return p.bitsPerCell }
+
+// Set programs the cell for output column i, input row j to the given
+// level (must fit in bitsPerCell bits). Programming happens before CIC.
+func (p *Plane) Set(i, j int, level uint8) {
+	if int(level) >= 1<<p.bitsPerCell {
+		panic(fmt.Sprintf("xbar: level %d exceeds %d-bit cell", level, p.bitsPerCell))
+	}
+	old := 0
+	for b := 0; b < p.bitsPerCell; b++ {
+		if p.bits[b][i].Get(j) {
+			old |= 1 << b
+		}
+		p.bits[b][i].Set(j, level&(1<<b) != 0)
+	}
+	p.weight[i] += int(level) - old
+}
+
+// Get reads back the stored level at (i, j), undoing CIC inversion.
+func (p *Plane) Get(i, j int) uint8 {
+	var level uint8
+	for b := 0; b < p.bitsPerCell; b++ {
+		if p.bits[b][i].Get(j) {
+			level |= 1 << b
+		}
+	}
+	if p.inverted[i] && p.bitsPerCell == 1 {
+		level ^= 1
+	}
+	return level
+}
+
+// ApplyCIC applies computational invert coding (§V-B2): any single-bit
+// output column with more than half its cells set is stored inverted so
+// that no column ever holds more than inputs/2 ones, statically reducing
+// the required ADC resolution by one bit. Returns the number of columns
+// inverted. Multi-bit planes are left unchanged (the paper's sensitivity
+// study drops CIC for multi-bit cells).
+func (p *Plane) ApplyCIC() int {
+	if p.bitsPerCell != 1 {
+		return 0
+	}
+	inv := 0
+	for i, c := range p.bits[0] {
+		if p.inverted[i] {
+			continue
+		}
+		if ones := c.PopCount(); ones > p.inputs/2 {
+			c.Invert()
+			p.inverted[i] = true
+			p.weight[i] = p.inputs - ones
+			inv++
+		}
+	}
+	return inv
+}
+
+// Inverted reports whether CIC inverted output column i.
+func (p *Plane) Inverted(i int) bool { return p.inverted[i] }
+
+// StoredOnes returns the stored (post-CIC) level sum of output column i.
+func (p *Plane) StoredOnes(i int) int { return p.weight[i] }
+
+// MaxColumnOnes returns the maximum stored level sum over all output
+// columns; with CIC applied this is at most inputs/2 for single-bit
+// planes, which is what lets the ADC drop one bit of resolution.
+func (p *Plane) MaxColumnOnes() int {
+	m := 0
+	for _, w := range p.weight {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// ColumnResult is the outcome of quantizing one output column.
+type ColumnResult struct {
+	// Count is the digital column sum after CIC decoding: Σ_j level(i,j)·x_j.
+	Count int
+	// Raw is the pre-CIC-decoding quantity the ADC actually converted.
+	Raw int
+	// BitsConverted is the number of SAR steps after ADC headstart.
+	BitsConverted int
+}
+
+// Column performs one column quantization: the analog dot product of the
+// stored column with the applied bit slice x, observed through the
+// optional device-error model, then CIC-decoded back to the true sum.
+//
+// popX must equal x.PopCount() (callers compute it once per slice).
+func (p *Plane) Column(i int, x *Bitmap, popX int, arr *device.Array, adc ADC) ColumnResult {
+	var stored int // exact stored-form count Σ stored_level·x
+	for b := 0; b < p.bitsPerCell; b++ {
+		stored += p.bits[b][i].AndPopCount(x) << b
+	}
+
+	observed := stored
+	if arr != nil {
+		onCells := stored
+		if p.bitsPerCell != 1 {
+			// Applied cells at nonzero level: popcount of (OR of level
+			// bitmaps) AND x.
+			onCells = orAndPopCount(p.bits, i, x)
+		}
+		offCells := popX - onCells
+		observed = arr.PerturbCount(stored, onCells, offCells)
+	}
+
+	lmax := 1<<p.bitsPerCell - 1
+	bitsUsed := adc.ConversionBits(minInt(p.weight[i], popX*lmax))
+
+	count := observed
+	if p.inverted[i] {
+		// CIC decoding: true = popX − stored-form count (§V-B2).
+		count = popX - observed
+		if count < 0 {
+			count = 0 // a noisy observation cannot exceed the CIC bound
+		}
+	}
+	return ColumnResult{Count: count, Raw: observed, BitsConverted: bitsUsed}
+}
+
+// orAndPopCount computes popcount((bits[0][i] | bits[1][i] | ...) & x).
+func orAndPopCount(bits [][]*Bitmap, i int, x *Bitmap) int {
+	n := 0
+	words := len(x.words)
+	for w := 0; w < words; w++ {
+		var or uint64
+		for b := range bits {
+			or |= bits[b][i].words[w]
+		}
+		n += onesCount64(or & x.words[w])
+	}
+	return n
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,178 @@
+// Package memsci is a from-scratch reproduction of "Enabling Scientific
+// Computing on Memristive Accelerators" (Feinberg, Vengalam, Whitehair,
+// Wang, Ipek — ISCA 2018): IEEE-754 double-precision sparse linear
+// algebra executed on fixed-point memristive crossbar hardware.
+//
+// The package is a facade over the subsystem packages in internal/:
+//
+//   - core      — floating point on fixed-point crossbars (§III-IV):
+//     exponent-range-local alignment, per-block biasing, early
+//     termination, activation scheduling, the bit-exact cluster engine
+//   - blocking  — heterogeneous-substrate preprocessing (§V)
+//   - accel     — banks, clusters, kernels, performance/energy models (§VI)
+//   - solver    — CG, BiCG, BiCG-STAB, GMRES (§II-B)
+//   - matgen    — deterministic stand-ins for the Table II matrices
+//   - gpu       — the Tesla P100 baseline model (§VII-B)
+//   - energy    — Table I/III area-energy-latency models
+//   - device    — TaOx cell model with error injection (Fig. 12-13)
+//   - direct    — sparse Cholesky + RCM (the §II-B fill-in argument)
+//   - lowprec   — ISAAC-class 8/16-bit datapath (the §I motivation)
+//   - softfp    — SoftFloat-style IEEE-754 FPU (§IV-D, paper ref. [13])
+//   - montecarlo — the Fig. 12-13 device-sensitivity studies
+//
+// Typical use:
+//
+//	spec, _ := memsci.MatrixByName("Pres_Poisson")
+//	A := spec.GenerateScaled(0.05)
+//	res, _ := memsci.Solve(A, nil, memsci.Auto, memsci.DefaultSolveOptions())
+//	ev, _ := memsci.Evaluate("Pres_Poisson", A, false, res.Iterations, memsci.NewSystem())
+//	fmt.Printf("speedup %.1fx\n", ev.Speedup())
+package memsci
+
+import (
+	"fmt"
+
+	"memsci/internal/accel"
+	"memsci/internal/blocking"
+	"memsci/internal/core"
+	"memsci/internal/device"
+	"memsci/internal/matgen"
+	"memsci/internal/solver"
+	"memsci/internal/sparse"
+)
+
+// Re-exported substrate types, so downstream code speaks one vocabulary.
+type (
+	// CSR is a compressed-sparse-row matrix.
+	CSR = sparse.CSR
+	// COO is a coordinate-format matrix builder.
+	COO = sparse.COO
+	// MatrixSpec describes one catalog workload and its generator.
+	MatrixSpec = matgen.Spec
+	// Plan is a blocking preprocessing result.
+	Plan = blocking.Plan
+	// System is the accelerator + GPU pair under evaluation.
+	System = accel.System
+	// Evaluation is the per-matrix Fig. 8/9/10 model output.
+	Evaluation = accel.Evaluation
+	// Engine is the functional (bit-exact) accelerator operator.
+	Engine = accel.Engine
+	// Result reports an iterative solve.
+	Result = solver.Result
+	// SolveOptions configures an iterative solve.
+	SolveOptions = solver.Options
+	// ClusterConfig selects cluster hardware features (CIC, headstart,
+	// rounding mode, device errors).
+	ClusterConfig = core.ClusterConfig
+	// DeviceParams is the memristor cell model.
+	DeviceParams = device.Params
+)
+
+// Catalog returns the 20 Table II matrix stand-ins.
+func Catalog() []MatrixSpec { return matgen.Catalog() }
+
+// MatrixByName looks up a catalog entry.
+func MatrixByName(name string) (MatrixSpec, error) { return matgen.ByName(name) }
+
+// NewSystem returns the paper's evaluated configuration: the Table I
+// accelerator alongside a Tesla P100.
+func NewSystem() *System { return accel.NewSystem() }
+
+// Preprocess maps a matrix onto the default heterogeneous substrate
+// (512/256/128/64 crossbar blocks, §V-B1).
+func Preprocess(m *CSR) (*Plan, error) {
+	return blocking.Preprocess(m, blocking.DefaultSubstrate())
+}
+
+// DefaultClusterConfig is the paper's cluster design point: single-bit
+// TaOx cells, CIC, ADC headstart, AN protection, truncation rounding.
+func DefaultClusterConfig() ClusterConfig { return core.DefaultClusterConfig() }
+
+// NewEngine builds the functional accelerator for a preprocessing plan.
+func NewEngine(plan *Plan, cfg ClusterConfig, seed int64) (*Engine, error) {
+	return accel.NewEngine(plan, cfg, seed)
+}
+
+// Evaluate runs the per-matrix performance/energy model (preprocessing,
+// mapping, both systems, and the accelerator-vs-GPU decision of §VIII-A).
+func Evaluate(name string, m *CSR, bicgstab bool, iters int, sys *System) (*Evaluation, error) {
+	return accel.Evaluate(name, m, bicgstab, iters, sys)
+}
+
+// Method selects an iterative solver.
+type Method int
+
+const (
+	// Auto picks CG for symmetric matrices and BiCG-STAB otherwise, the
+	// paper's policy (§VII-C).
+	Auto Method = iota
+	// MethodCG is conjugate gradient (SPD systems).
+	MethodCG
+	// MethodBiCGSTAB is stabilized biconjugate gradient.
+	MethodBiCGSTAB
+	// MethodBiCG is biconjugate gradient (needs Aᵀ).
+	MethodBiCG
+	// MethodGMRES is restarted GMRES.
+	MethodGMRES
+)
+
+// DefaultSolveOptions returns ε = 1e-8, iteration cap 10·n.
+func DefaultSolveOptions() SolveOptions { return solver.DefaultOptions() }
+
+// Solve runs an iterative solver on the plain CSR matrix. b == nil uses
+// the all-ones right-hand side of §VII-C.
+func Solve(m *CSR, b []float64, method Method, opt SolveOptions) (*Result, error) {
+	if b == nil {
+		b = sparse.Ones(m.Rows())
+	}
+	op := solver.CSROperator{M: m}
+	return dispatch(op, m, b, method, opt)
+}
+
+// SolveOn runs an iterative solver over an arbitrary operator (e.g. the
+// functional accelerator Engine). Symmetric detection is unavailable, so
+// Auto resolves to BiCG-STAB unless spd is set.
+func SolveOn(op solver.Operator, b []float64, method Method, spd bool, opt SolveOptions) (*Result, error) {
+	if method == Auto {
+		if spd {
+			method = MethodCG
+		} else {
+			method = MethodBiCGSTAB
+		}
+	}
+	switch method {
+	case MethodCG:
+		return solver.CG(op, b, opt)
+	case MethodBiCGSTAB:
+		return solver.BiCGSTAB(op, b, opt)
+	case MethodGMRES:
+		return solver.GMRES(op, b, opt)
+	case MethodBiCG:
+		t, ok := op.(solver.TransposeOperator)
+		if !ok {
+			return nil, fmt.Errorf("memsci: BiCG requires a transpose-capable operator")
+		}
+		return solver.BiCG(t, b, opt)
+	}
+	return nil, fmt.Errorf("memsci: unknown method %d", int(method))
+}
+
+func dispatch(op solver.CSROperator, m *CSR, b []float64, method Method, opt SolveOptions) (*Result, error) {
+	if method == Auto {
+		if m.IsSymmetric(1e-12) {
+			method = MethodCG
+		} else {
+			method = MethodBiCGSTAB
+		}
+	}
+	return SolveOn(op, b, method, method == MethodCG, opt)
+}
+
+// Ones returns the all-ones vector used as the default right-hand side.
+func Ones(n int) []float64 { return sparse.Ones(n) }
+
+// JacobiScale normalizes a system in place (symmetric scaling for SPD
+// matrices, row scaling otherwise) and returns the scaling vector. It is
+// the standard preparation both platforms apply identically before
+// iterating, so it leaves iteration-count comparisons unchanged.
+func JacobiScale(m *CSR, spd bool) ([]float64, error) { return m.JacobiScale(spd) }

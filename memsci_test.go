@@ -1,0 +1,125 @@
+package memsci_test
+
+import (
+	"math"
+	"testing"
+
+	"memsci"
+)
+
+func TestCatalogFacade(t *testing.T) {
+	if len(memsci.Catalog()) != 20 {
+		t.Fatal("catalog incomplete")
+	}
+	spec, err := memsci.MatrixByName("Pres_Poisson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Rows != 14822 {
+		t.Errorf("Pres_Poisson rows %d", spec.Rows)
+	}
+}
+
+func TestSolveAutoCG(t *testing.T) {
+	spec, _ := memsci.MatrixByName("crystm03")
+	m := spec.GenerateScaled(0.02)
+	opt := memsci.DefaultSolveOptions()
+	opt.MaxIter = 5000
+	res, err := memsci.Solve(m, nil, memsci.Auto, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("solve did not converge: %d iters res %g", res.Iterations, res.Residual)
+	}
+}
+
+func TestSolveAutoBiCGSTAB(t *testing.T) {
+	spec, _ := memsci.MatrixByName("wang3")
+	m := spec.GenerateScaled(0.05)
+	if _, err := memsci.JacobiScale(m, false); err != nil {
+		t.Fatal(err)
+	}
+	opt := memsci.DefaultSolveOptions()
+	opt.Tol = 1e-7
+	opt.MaxIter = 5000
+	res, err := memsci.Solve(m, nil, memsci.Auto, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("BiCG-STAB did not converge: res %g", res.Residual)
+	}
+}
+
+func TestEndToEndFunctionalPipeline(t *testing.T) {
+	// The quickstart path: generate, preprocess, build the functional
+	// engine, solve on it, compare with the plain solve.
+	spec, _ := memsci.MatrixByName("Trefethen_20000")
+	m := spec.GenerateScaled(0.008)
+	plan, err := memsci.Preprocess(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stats.Efficiency() < 0.3 {
+		t.Fatalf("blocked only %.2f", plan.Stats.Efficiency())
+	}
+	eng, err := memsci.NewEngine(plan, memsci.DefaultClusterConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := memsci.DefaultSolveOptions()
+	opt.Tol = 1e-8
+	opt.MaxIter = 4000
+	b := memsci.Ones(m.Rows())
+	accel, err := memsci.SolveOn(eng, b, memsci.Auto, true, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := memsci.Solve(m, b, memsci.MethodCG, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !accel.Converged || !ref.Converged {
+		t.Fatalf("convergence: accel %v ref %v", accel.Converged, ref.Converged)
+	}
+	if d := accel.Iterations - ref.Iterations; d < -1 || d > 1 {
+		t.Errorf("iteration parity broken: %d vs %d (§VII-C)", accel.Iterations, ref.Iterations)
+	}
+}
+
+func TestEvaluateFacade(t *testing.T) {
+	spec, _ := memsci.MatrixByName("torso2")
+	m := spec.GenerateScaled(0.1)
+	ev, err := memsci.Evaluate("torso2", m, true, spec.SolveIters, memsci.NewSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Speedup() <= 1 {
+		t.Errorf("torso2 speedup %.2f", ev.Speedup())
+	}
+	if math.IsNaN(ev.EnergyRatio()) || ev.EnergyRatio() <= 0 {
+		t.Errorf("energy ratio %g", ev.EnergyRatio())
+	}
+}
+
+func TestSolveMethodSelection(t *testing.T) {
+	// A well-conditioned nonsymmetric system every method can solve.
+	spec := memsci.MatrixSpec{
+		Name: "easy", Rows: 600, NNZ: 600 * 8, Class: 1, /* Banded */
+		Band: 12, ExpSpread: 4, Seed: 77, DiagMargin: 0.2,
+	}
+	m := spec.Generate()
+	opt := memsci.DefaultSolveOptions()
+	opt.Tol = 1e-8
+	opt.MaxIter = 4000
+	for _, method := range []memsci.Method{memsci.MethodBiCGSTAB, memsci.MethodGMRES, memsci.MethodBiCG} {
+		res, err := memsci.Solve(m, nil, method, opt)
+		if err != nil {
+			t.Fatalf("method %d: %v", method, err)
+		}
+		if !res.Converged {
+			t.Errorf("method %d did not converge (res %g)", method, res.Residual)
+		}
+	}
+}
