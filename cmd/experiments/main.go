@@ -21,7 +21,8 @@
 //
 // Results print as aligned tables and ASCII bar charts; -csv switches the
 // tabular output to CSV. Full-size workload generation plus modeling runs
-// in seconds; the Monte-Carlo figures honor -trials.
+// in seconds; the Monte-Carlo figures honor -trials and fan their trials
+// out over -par worker goroutines (default: GOMAXPROCS).
 package main
 
 import (
@@ -38,6 +39,7 @@ type options struct {
 	scale   float64
 	seed    int64
 	measure bool
+	par     int
 }
 
 func main() {
@@ -48,6 +50,7 @@ func main() {
 	flag.Float64Var(&opt.scale, "scale", 1.0, "matrix scale factor for the modeling experiments")
 	flag.Int64Var(&opt.seed, "seed", 1, "Monte-Carlo base seed")
 	flag.BoolVar(&opt.measure, "measure-iters", false, "measure solver iteration counts on scaled stand-ins instead of using the catalog counts")
+	flag.IntVar(&opt.par, "par", 0, "worker goroutines for Monte-Carlo trials and cluster execution (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	runs := map[string]func(*options) error{

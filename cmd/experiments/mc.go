@@ -26,6 +26,7 @@ func runMC(opt *options, title, paperNote string, baseline mcConfig, configs []m
 	if err != nil {
 		return err
 	}
+	study.Parallelism = opt.par
 	baseMean, err := study.Baseline(baseline.dev)
 	if err != nil {
 		return err

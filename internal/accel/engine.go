@@ -5,6 +5,7 @@ import (
 
 	"memsci/internal/blocking"
 	"memsci/internal/core"
+	"memsci/internal/parallel"
 )
 
 // Engine is the functional (bit-exact) accelerator: every accepted block
@@ -14,10 +15,22 @@ import (
 // It implements solver.Operator, so the paper's solvers run unmodified
 // on it (§VII-C: the accelerator converges in the same number of
 // iterations as the GPU because both compute at the same precision).
+//
+// Cluster MVMs execute concurrently, mirroring the hardware's 16
+// clusters per bank × 128 banks (§III, §VI), but results are merged in
+// ascending cluster order so a parallel Apply is bit-identical to a
+// serial one. Apply itself is not safe for concurrent calls on the same
+// Engine: clusters carry running statistics and scratch state.
 type Engine struct {
 	plan     *blocking.Plan
 	clusters []*engineBlock
 	cfg      core.ClusterConfig
+
+	// Parallelism bounds the worker goroutines used to program clusters
+	// (NewEngine) and to fan cluster MVMs out (Apply). NewEngine sets it
+	// to runtime.GOMAXPROCS(0); set it to 1 to force the serial path
+	// (<= 0 also selects the default).
+	Parallelism int
 }
 
 type engineBlock struct {
@@ -28,44 +41,71 @@ type engineBlock struct {
 
 // NewEngine programs a preprocessing plan into functional clusters.
 // seedBase offsets the per-cluster device-error seeds so Monte-Carlo
-// trials differ only in their sampled errors.
+// trials differ only in their sampled errors. Blocks are programmed
+// concurrently — the O(M·N·planes) big.Int encode loop in
+// core.NewCluster dominates setup — and each cluster's seed depends only
+// on its index, so the programmed state is independent of worker
+// scheduling.
 func NewEngine(plan *blocking.Plan, cfg core.ClusterConfig, seedBase int64) (*Engine, error) {
-	e := &Engine{plan: plan, cfg: cfg}
-	for idx, b := range plan.Blocks {
-		rows, cols := b.Size, b.Size
-		if b.RowOff+rows > plan.Rows {
-			rows = plan.Rows - b.RowOff
-		}
-		if b.ColOff+cols > plan.Cols {
-			cols = plan.Cols - b.ColOff
-		}
-		blk, err := core.NewBlock(rows, cols, clipCoefs(b, rows, cols), core.MaxPadBits)
-		if err != nil {
-			return nil, fmt.Errorf("accel: block at (%d,%d): %w", b.RowOff, b.ColOff, err)
-		}
-		c := cfg
-		c.Seed = seedBase + int64(idx)*7919
-		cl, err := core.NewCluster(blk, c)
+	e := &Engine{plan: plan, cfg: cfg, Parallelism: parallel.DefaultWorkers()}
+	clusters := make([]*engineBlock, len(plan.Blocks))
+	errs := make([]error, len(plan.Blocks))
+	parallel.For(len(plan.Blocks), e.Parallelism, func(idx int) {
+		clusters[idx], errs[idx] = buildEngineBlock(plan, cfg, seedBase, idx)
+	})
+	for _, err := range errs { // first failing block, by cluster index
 		if err != nil {
 			return nil, err
 		}
-		e.clusters = append(e.clusters, &engineBlock{
-			cluster: cl, rowOff: b.RowOff, colOff: b.ColOff, rows: rows, cols: cols,
-		})
 	}
+	e.clusters = clusters
 	return e, nil
 }
 
-func clipCoefs(b *blocking.Block, rows, cols int) []core.Coef {
+func buildEngineBlock(plan *blocking.Plan, cfg core.ClusterConfig, seedBase int64, idx int) (*engineBlock, error) {
+	b := plan.Blocks[idx]
+	rows, cols := b.Size, b.Size
+	if b.RowOff+rows > plan.Rows {
+		rows = plan.Rows - b.RowOff
+	}
+	if b.ColOff+cols > plan.Cols {
+		cols = plan.Cols - b.ColOff
+	}
+	coefs, err := clipCoefs(b, rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	blk, err := core.NewBlock(rows, cols, coefs, core.MaxPadBits)
+	if err != nil {
+		return nil, fmt.Errorf("accel: block at (%d,%d): %w", b.RowOff, b.ColOff, err)
+	}
+	c := cfg
+	c.Seed = seedBase + int64(idx)*7919
+	cl, err := core.NewCluster(blk, c)
+	if err != nil {
+		return nil, err
+	}
+	return &engineBlock{
+		cluster: cl, rowOff: b.RowOff, colOff: b.ColOff, rows: rows, cols: cols,
+	}, nil
+}
+
+// clipCoefs rebases a block's entries to block-local coordinates. The
+// preprocessor only emits entries inside the matrix, so an entry outside
+// the clipped extent means the plan is corrupt; it is reported as an
+// error rather than silently dropped (dropping a coefficient would
+// change the operator).
+func clipCoefs(b *blocking.Block, rows, cols int) ([]core.Coef, error) {
 	cs := make([]core.Coef, 0, len(b.Entries))
 	for _, en := range b.Entries {
 		r, c := int(en.Row)-b.RowOff, int(en.Col)-b.ColOff
-		if r >= rows || c >= cols {
-			continue // cannot happen: entries come from inside the matrix
+		if r < 0 || c < 0 || r >= rows || c >= cols {
+			return nil, fmt.Errorf("accel: block at (%d,%d): entry (%d,%d) outside clipped %dx%d extent",
+				b.RowOff, b.ColOff, en.Row, en.Col, rows, cols)
 		}
 		cs = append(cs, core.Coef{Row: r, Col: c, Val: en.Val})
 	}
-	return cs
+	return cs, nil
 }
 
 // Rows returns the operator's row count.
@@ -78,6 +118,13 @@ func (e *Engine) Cols() int { return e.plan.Cols }
 // exact block dot products are accumulated into the partial-result
 // stream in IEEE double by the local processor, together with the
 // unblocked CSR remainder.
+//
+// With Parallelism > 1 the cluster MVMs run on a worker pool. Block row
+// ranges overlap, so workers never touch y: each cluster's output vector
+// is kept per-cluster and folded into y on the calling goroutine in
+// ascending cluster index order — the same floating-point accumulation
+// order as the serial path, so the result is bit-identical regardless of
+// worker completion order.
 func (e *Engine) Apply(y, x []float64) {
 	if len(x) != e.plan.Cols || len(y) != e.plan.Rows {
 		panic(fmt.Sprintf("accel: Apply dims y[%d], x[%d] vs %dx%d", len(y), len(x), e.plan.Rows, e.plan.Cols))
@@ -85,36 +132,47 @@ func (e *Engine) Apply(y, x []float64) {
 	for i := range y {
 		y[i] = 0
 	}
-	for _, eb := range e.clusters {
-		seg := x[eb.colOff : eb.colOff+eb.cols]
-		out, err := eb.cluster.MulVec(seg)
-		if err != nil {
-			panic(fmt.Sprintf("accel: cluster MulVec: %v", err))
-		}
-		dst := y[eb.rowOff : eb.rowOff+eb.rows]
-		for i, v := range out {
-			dst[i] += v
+	if parallel.Clamp(e.Parallelism, len(e.clusters)) > 1 {
+		e.applyParallel(y, x)
+	} else {
+		for _, eb := range e.clusters {
+			out, err := eb.cluster.MulVec(x[eb.colOff : eb.colOff+eb.cols])
+			if err != nil {
+				panic(fmt.Sprintf("accel: cluster MulVec: %v", err))
+			}
+			dst := y[eb.rowOff : eb.rowOff+eb.rows]
+			for i, v := range out {
+				dst[i] += v
+			}
 		}
 	}
 	e.plan.Unblocked.MulVecAdd(y, x)
 }
 
-// Stats aggregates the compute statistics over all clusters.
+func (e *Engine) applyParallel(y, x []float64) {
+	outs := make([][]float64, len(e.clusters))
+	errs := make([]error, len(e.clusters))
+	parallel.For(len(e.clusters), e.Parallelism, func(i int) {
+		eb := e.clusters[i]
+		outs[i], errs[i] = eb.cluster.MulVec(x[eb.colOff : eb.colOff+eb.cols])
+	})
+	for i, eb := range e.clusters { // deterministic merge: cluster order
+		if errs[i] != nil {
+			panic(fmt.Sprintf("accel: cluster MulVec: %v", errs[i]))
+		}
+		dst := y[eb.rowOff : eb.rowOff+eb.rows]
+		for k, v := range outs[i] {
+			dst[k] += v
+		}
+	}
+}
+
+// Stats aggregates the compute statistics over all clusters via
+// ComputeStats.Merge, in cluster order.
 func (e *Engine) Stats() core.ComputeStats {
 	var agg core.ComputeStats
 	for _, eb := range e.clusters {
-		st := eb.cluster.Stats()
-		agg.Ops += st.Ops
-		agg.VectorSlicesApplied += st.VectorSlicesApplied
-		agg.VectorSlicesTotal += st.VectorSlicesTotal
-		agg.Conversions += st.Conversions
-		agg.ConversionsSkipped += st.ConversionsSkipped
-		agg.ConversionBits += st.ConversionBits
-		agg.CrossbarActivations += st.CrossbarActivations
-		agg.AN.OK += st.AN.OK
-		agg.AN.Corrected += st.AN.Corrected
-		agg.AN.Ambiguous += st.AN.Ambiguous
-		agg.AN.Uncorrectable += st.AN.Uncorrectable
+		agg.Merge(eb.cluster.Stats())
 	}
 	return agg
 }

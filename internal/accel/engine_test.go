@@ -3,6 +3,7 @@ package accel
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"memsci/internal/blocking"
@@ -210,5 +211,133 @@ func TestEngineEdgeClipping(t *testing.T) {
 		if math.Abs(y1[i]-y2[i]) > 1e-9*math.Max(1, math.Abs(y2[i])) {
 			t.Fatalf("edge row %d: %g vs %g", i, y1[i], y2[i])
 		}
+	}
+}
+
+// The determinism guarantee of the parallel execution layer: with the
+// full error model on (so even the per-cluster RNG draws are in play), a
+// parallel Apply must be bit-identical to a serial one — cluster outputs
+// merge in cluster-index order, not completion order.
+func TestApplyParallelBitIdenticalToSerial(t *testing.T) {
+	m, plan := smallSystem(t, 256)
+	cfg := core.DefaultClusterConfig()
+	cfg.InjectErrors = true
+	serial, err := NewEngine(plan, cfg, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial.Parallelism = 1
+	par, err := NewEngine(plan, cfg, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.Parallelism = 8
+	if serial.Clusters() < 2 {
+		t.Fatalf("test system has %d clusters; parallelism untested", serial.Clusters())
+	}
+	rng := rand.New(rand.NewSource(17))
+	x := make([]float64, m.Cols())
+	ys := make([]float64, m.Rows())
+	yp := make([]float64, m.Rows())
+	// Several rounds: per-cluster RNG streams advance across Apply calls,
+	// and both engines must advance them identically.
+	for round := 0; round < 3; round++ {
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		serial.Apply(ys, x)
+		par.Apply(yp, x)
+		for i := range ys {
+			if ys[i] != yp[i] {
+				t.Fatalf("round %d row %d: serial %x vs parallel %x", round, i, ys[i], yp[i])
+			}
+		}
+	}
+	ss, ps := serial.Stats(), par.Stats()
+	ss.ColumnSlicesUsed, ps.ColumnSlicesUsed = nil, nil
+	if !reflect.DeepEqual(ss, ps) {
+		t.Errorf("stats diverge:\nserial   %+v\nparallel %+v", ss, ps)
+	}
+}
+
+// Engine.Stats must equal the field-wise sum over per-cluster stats. The
+// sum is computed by reflection over every numeric field (recursing into
+// nested structs), so a counter added to ComputeStats but dropped from
+// the Merge path fails here.
+func TestEngineStatsMatchPerClusterSums(t *testing.T) {
+	m, plan := smallSystem(t, 192)
+	eng, err := NewEngine(plan, core.DefaultClusterConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := sparse.Ones(m.Cols())
+	y := make([]float64, m.Rows())
+	eng.Apply(y, x)
+	eng.Apply(y, x)
+
+	perCall := map[string]bool{"ColumnSlicesUsed": true, "MinSettleSlice": true}
+	var sum func(agg, cl reflect.Value, path string) // adds cl's fields into agg
+	want := core.ComputeStats{}
+	sum = func(agg, cl reflect.Value, path string) {
+		for i := 0; i < agg.NumField(); i++ {
+			name := agg.Type().Field(i).Name
+			if perCall[name] {
+				continue
+			}
+			switch agg.Field(i).Kind() {
+			case reflect.Int:
+				agg.Field(i).SetInt(agg.Field(i).Int() + cl.Field(i).Int())
+			case reflect.Uint64:
+				agg.Field(i).SetUint(agg.Field(i).Uint() + cl.Field(i).Uint())
+			case reflect.Struct:
+				sum(agg.Field(i), cl.Field(i), path+name+".")
+			case reflect.Slice:
+				// per-call diagnostics only
+			default:
+				t.Fatalf("unhandled stats field kind %s for %s%s", agg.Field(i).Kind(), path, name)
+			}
+		}
+	}
+	for _, eb := range eng.clusters {
+		sum(reflect.ValueOf(&want).Elem(), reflect.ValueOf(eb.cluster.Stats()).Elem(), "")
+	}
+	got := eng.Stats()
+	got.ColumnSlicesUsed = nil
+	got.MinSettleSlice = 0
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("aggregated stats drop fields:\ngot  %+v\nwant %+v", got, want)
+	}
+	if got.Ops != 2*eng.Clusters() {
+		t.Errorf("Ops = %d, want %d", got.Ops, 2*eng.Clusters())
+	}
+}
+
+// An entry outside a block's clipped extent means the preprocessing plan
+// is corrupt; clipCoefs must report it instead of silently dropping the
+// coefficient (which would change the operator).
+func TestClipCoefsRejectsOutOfExtentEntries(t *testing.T) {
+	blk := &blocking.Block{
+		RowOff: 64, ColOff: 64, Size: 64,
+		Entries: []blocking.Entry{
+			{Row: 64, Col: 64, Val: 1},
+			{Row: 127, Col: 99, Val: 2},
+		},
+	}
+	// Fully in-bounds block clips cleanly.
+	cs, err := clipCoefs(blk, 64, 64)
+	if err != nil || len(cs) != 2 {
+		t.Fatalf("in-bounds clip: %v, %d coefs", err, len(cs))
+	}
+	// Clip the extent down (edge block): the second entry's row 127 now
+	// lies outside the 40-row extent.
+	if _, err := clipCoefs(blk, 40, 64); err == nil {
+		t.Error("expected error for entry outside clipped row extent")
+	}
+	if _, err := clipCoefs(blk, 64, 30); err == nil {
+		t.Error("expected error for entry outside clipped col extent")
+	}
+	blk.Entries = append(blk.Entries, blocking.Entry{Row: 50, Col: 64, Val: 3}) // above RowOff
+	if _, err := clipCoefs(blk, 64, 64); err == nil {
+		t.Error("expected error for entry before block origin")
 	}
 }

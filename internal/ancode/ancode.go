@@ -106,6 +106,15 @@ func (s *Stats) Add(o Outcome) {
 	}
 }
 
+// Merge adds another accumulator's counts into s. Workers that decode
+// concurrently keep private Stats and merge them after the join.
+func (s *Stats) Merge(o Stats) {
+	s.OK += o.OK
+	s.Corrected += o.Corrected
+	s.Ambiguous += o.Ambiguous
+	s.Uncorrectable += o.Uncorrectable
+}
+
 // Total returns the number of decodes recorded.
 func (s *Stats) Total() uint64 { return s.OK + s.Corrected + s.Ambiguous + s.Uncorrectable }
 

@@ -219,3 +219,16 @@ func TestCheckBitsMatchesPaper(t *testing.T) {
 		t.Errorf("codeword width %d exceeds %d", got, 118+CheckBits-1)
 	}
 }
+
+func TestStatsMerge(t *testing.T) {
+	a := Stats{OK: 1, Corrected: 2, Ambiguous: 3, Uncorrectable: 4}
+	b := Stats{OK: 10, Corrected: 20, Ambiguous: 30, Uncorrectable: 40}
+	a.Merge(b)
+	want := Stats{OK: 11, Corrected: 22, Ambiguous: 33, Uncorrectable: 44}
+	if a != want {
+		t.Fatalf("merge: got %+v want %+v", a, want)
+	}
+	if a.Total() != 110 {
+		t.Fatalf("merged total %d", a.Total())
+	}
+}

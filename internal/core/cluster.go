@@ -84,6 +84,23 @@ type ComputeStats struct {
 	MinSettleSlice int
 }
 
+// Merge adds another accumulator's cumulative counters into s. Parallel
+// workers keep private ComputeStats and merge them, in a fixed order,
+// after the join; engine-level aggregation uses the same path so a field
+// added here is aggregated everywhere. The per-call diagnostic fields
+// (ColumnSlicesUsed, MinSettleSlice) describe only the most recent MulVec
+// and are deliberately left untouched.
+func (s *ComputeStats) Merge(o *ComputeStats) {
+	s.Ops += o.Ops
+	s.VectorSlicesApplied += o.VectorSlicesApplied
+	s.VectorSlicesTotal += o.VectorSlicesTotal
+	s.Conversions += o.Conversions
+	s.ConversionsSkipped += o.ConversionsSkipped
+	s.ConversionBits += o.ConversionBits
+	s.CrossbarActivations += o.CrossbarActivations
+	s.AN.Merge(o.AN)
+}
+
 func (s *ComputeStats) reset(cols int) {
 	s.ColumnSlicesUsed = make([]int, cols)
 	s.MinSettleSlice = 0
@@ -187,12 +204,21 @@ func NewCluster(block *Block, cfg ClusterConfig) (*Cluster, error) {
 	return c, nil
 }
 
-// addShifted adds v·2^shift into a little-endian word accumulator.
+// addShifted adds v·2^shift into a little-endian word accumulator. The
+// accumulator must be sized so the result fits: the value lands in words
+// w = shift/64 and w+1, and any carry must be absorbed before the slice
+// ends. NewCluster sizes redWords with 64 bits of headroom over the
+// maximum possible reduction sum, so the guards below are unreachable in
+// the MulVec pipeline; they turn an undersized accumulator into a
+// diagnosable panic instead of an out-of-range index mid-carry.
 func addShifted(words []big.Word, shift uint, v uint64) {
 	if v == 0 {
 		return
 	}
-	w, off := shift/64, shift%64
+	w, off := int(shift/64), shift%64
+	if w >= len(words) {
+		panic(fmt.Sprintf("core: addShifted shift %d lands at word %d, accumulator has %d", shift, w, len(words)))
+	}
 	lo := v << off
 	var hi uint64
 	if off != 0 {
@@ -207,6 +233,9 @@ func addShifted(words []big.Word, shift uint, v uint64) {
 	i := w + 1
 	add := hi + carry
 	for add != 0 {
+		if i >= len(words) {
+			panic(fmt.Sprintf("core: addShifted carry past word %d, accumulator has %d (undersized)", i, len(words)))
+		}
 		s = uint64(words[i]) + add
 		if s < add {
 			add = 1

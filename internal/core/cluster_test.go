@@ -2,7 +2,9 @@ package core
 
 import (
 	"math"
+	"math/big"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -441,4 +443,114 @@ func TestDeviceParamsValidate(t *testing.T) {
 	if err := p.Validate(); err == nil {
 		t.Error("expected validation failure for 0 bits per cell")
 	}
+}
+
+// addShifted sized at the exact boundary: a carry that terminates in the
+// last word must produce the same result as big.Int arithmetic, and a
+// carry that would run past the accumulator must panic instead of
+// indexing out of range (the redWords sizing invariant, made loud).
+func TestAddShiftedExactBoundary(t *testing.T) {
+	// Two words, both saturated low bits: adding v<<shift straddles the
+	// word boundary and the carry chain ends exactly at words[1].
+	words := []big.Word{^big.Word(0), 0x7fff_ffff_ffff_ffff}
+	want := new(big.Int).SetBits(append([]big.Word(nil), words...))
+	v := uint64(0x3)
+	shift := uint(63)
+	addShifted(words, shift, v)
+	add := new(big.Int).Lsh(new(big.Int).SetUint64(v), shift)
+	want.Add(want, add)
+	got := new(big.Int).SetBits(append([]big.Word(nil), words...))
+	if got.Cmp(want) != 0 {
+		t.Fatalf("boundary carry: got %x want %x", got, want)
+	}
+}
+
+func TestAddShiftedOverflowPanics(t *testing.T) {
+	cases := []struct {
+		name  string
+		words []big.Word
+		shift uint
+		v     uint64
+	}{
+		// Carry out of the top word: all-ones accumulator plus 1.
+		{"carry", []big.Word{^big.Word(0), ^big.Word(0)}, 0, 1},
+		// High half of a straddling value lands past the last word.
+		{"straddle", []big.Word{0}, 63, 0x3},
+		// Shift addresses a word beyond the accumulator entirely.
+		{"shift", []big.Word{0}, 64, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on undersized accumulator", tc.name)
+				}
+			}()
+			addShifted(tc.words, tc.shift, tc.v)
+		})
+	}
+}
+
+// Merge must aggregate every cumulative counter: the test sets each
+// numeric field (recursing into nested stats structs) to a distinct
+// value via reflection, merges, and checks the sums, so a field added to
+// ComputeStats without a Merge update fails here instead of being
+// silently dropped by engine-level aggregation. ColumnSlicesUsed and
+// MinSettleSlice are per-call diagnostics, documented as not merged.
+func TestComputeStatsMergeCoversAllFields(t *testing.T) {
+	perCall := map[string]bool{"ColumnSlicesUsed": true, "MinSettleSlice": true}
+	var a, b ComputeStats
+	next := int64(1)
+	var fill func(v reflect.Value, scale int64)
+	fill = func(v reflect.Value, scale int64) {
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			if perCall[v.Type().Field(i).Name] {
+				continue
+			}
+			switch f.Kind() {
+			case reflect.Int:
+				f.SetInt(next * scale)
+				next++
+			case reflect.Uint64:
+				f.SetUint(uint64(next * scale))
+				next++
+			case reflect.Struct:
+				fill(f, scale)
+			case reflect.Slice:
+				// per-call only; covered by the skip list
+			default:
+				t.Fatalf("unhandled field kind %s for %s", f.Kind(), v.Type().Field(i).Name)
+			}
+		}
+	}
+	fill(reflect.ValueOf(&a).Elem(), 1)
+	next = 1
+	fill(reflect.ValueOf(&b).Elem(), 1000)
+
+	merged := a
+	merged.Merge(&b)
+
+	var check func(m, av, bv reflect.Value, path string)
+	check = func(m, av, bv reflect.Value, path string) {
+		for i := 0; i < m.NumField(); i++ {
+			name := path + m.Type().Field(i).Name
+			if perCall[m.Type().Field(i).Name] {
+				continue
+			}
+			switch m.Field(i).Kind() {
+			case reflect.Int:
+				if got, want := m.Field(i).Int(), av.Field(i).Int()+bv.Field(i).Int(); got != want {
+					t.Errorf("%s: merged %d want %d (field dropped by Merge?)", name, got, want)
+				}
+			case reflect.Uint64:
+				if got, want := m.Field(i).Uint(), av.Field(i).Uint()+bv.Field(i).Uint(); got != want {
+					t.Errorf("%s: merged %d want %d (field dropped by Merge?)", name, got, want)
+				}
+			case reflect.Struct:
+				check(m.Field(i), av.Field(i), bv.Field(i), name+".")
+			}
+		}
+	}
+	check(reflect.ValueOf(merged), reflect.ValueOf(a), reflect.ValueOf(b), "")
 }

@@ -13,6 +13,7 @@ import (
 	"memsci/internal/core"
 	"memsci/internal/device"
 	"memsci/internal/matgen"
+	"memsci/internal/parallel"
 	"memsci/internal/solver"
 	"memsci/internal/sparse"
 )
@@ -26,12 +27,18 @@ type Study struct {
 	// (reported as MaxIter iterations).
 	Tol     float64
 	MaxIter int
-	// Trials per configuration (the paper uses 100).
+	// Trials per configuration (the paper uses 100). Baseline and Sweep
+	// reject Trials <= 0 with an error.
 	Trials int
 	// Seed is the base seed; trial t of any configuration uses
 	// Seed + 1000·t (+7 for non-baseline), so configurations face
 	// comparable error draws.
 	Seed int64
+	// Parallelism bounds the worker goroutines trials run on; <= 0
+	// selects runtime.GOMAXPROCS. Trials are independent — each builds
+	// its own seeded engine — and per-trial results are reduced in trial
+	// order, so parallel sweeps are deterministic.
+	Parallelism int
 }
 
 // DefaultStudy builds the standard small SPD system: a sparse band wide
@@ -98,14 +105,37 @@ func (s *Study) Run(dev device.Params, seed int64) (int, error) {
 	return res.Iterations, nil
 }
 
-// Baseline measures the reference configuration's mean iteration count.
-func (s *Study) Baseline(dev device.Params) (float64, error) {
-	sum := 0
-	for t := 0; t < s.Trials; t++ {
-		it, err := s.Run(dev, s.Seed+int64(1000*t))
+// trials runs all of the study's trials for one configuration
+// concurrently — safe because every trial builds its own seeded engine —
+// and returns the per-trial iteration counts indexed by trial number, so
+// callers reduce them in deterministic trial order. seedOff is the
+// configuration's seed offset (0 for the baseline, 7 for sweeps).
+func (s *Study) trials(dev device.Params, seedOff int64) ([]int, error) {
+	if s.Trials <= 0 {
+		return nil, fmt.Errorf("montecarlo: Trials must be positive, got %d", s.Trials)
+	}
+	its := make([]int, s.Trials)
+	errs := make([]error, s.Trials)
+	parallel.For(s.Trials, s.Parallelism, func(t int) {
+		its[t], errs[t] = s.Run(dev, s.Seed+int64(1000*t)+seedOff)
+	})
+	for _, err := range errs { // first failing trial, by trial index
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
+	}
+	return its, nil
+}
+
+// Baseline measures the reference configuration's mean iteration count.
+// It errors on Trials <= 0.
+func (s *Study) Baseline(dev device.Params) (float64, error) {
+	its, err := s.trials(dev, 0)
+	if err != nil {
+		return 0, err
+	}
+	sum := 0
+	for _, it := range its {
 		sum += it
 	}
 	mean := float64(sum) / float64(s.Trials)
@@ -116,15 +146,17 @@ func (s *Study) Baseline(dev device.Params) (float64, error) {
 }
 
 // Sweep measures one configuration against a baseline mean, returning
-// min/mean/max normalized iteration counts.
+// min/mean/max normalized iteration counts. It errors on Trials <= 0
+// (previously the MinIters = 1<<30 sentinel leaked and the means were
+// NaN).
 func (s *Study) Sweep(label string, dev device.Params, baseMean float64) (Stats, error) {
 	st := Stats{Label: label, MinIters: 1 << 30}
+	its, err := s.trials(dev, 7)
+	if err != nil {
+		return st, err
+	}
 	sum := 0
-	for t := 0; t < s.Trials; t++ {
-		it, err := s.Run(dev, s.Seed+int64(1000*t)+7)
-		if err != nil {
-			return st, err
-		}
+	for _, it := range its {
 		if it >= s.MaxIter {
 			st.Failed++
 		}

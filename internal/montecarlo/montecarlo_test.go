@@ -70,3 +70,58 @@ func TestDesignPointVsStressed(t *testing.T) {
 		t.Errorf("stressed configuration did not degrade: %+v", bad)
 	}
 }
+
+// Trials <= 0 must be an explicit error: previously Sweep leaked its
+// MinIters = 1<<30 sentinel and reported NaN means, and Baseline
+// returned NaN via 0/0.
+func TestDegenerateTrialsErrors(t *testing.T) {
+	s := study(t, 1)
+	for _, trials := range []int{0, -3} {
+		s.Trials = trials
+		if _, err := s.Baseline(device.TaOx()); err == nil {
+			t.Errorf("Baseline(Trials=%d): expected error", trials)
+		}
+		st, err := s.Sweep("degenerate", device.TaOx(), 10)
+		if err == nil {
+			t.Errorf("Sweep(Trials=%d): expected error", trials)
+		}
+		if err == nil && st.MinIters == 1<<30 {
+			t.Errorf("Sweep(Trials=%d): sentinel leaked: %+v", trials, st)
+		}
+	}
+}
+
+// Parallel trials must reduce to the same statistics as serial ones:
+// every trial seeds its own engine from the trial index alone. The
+// property is about reduction order and per-trial seeding, not
+// convergence depth, so the test runs at a loose tolerance to keep the
+// trials cheap (notably under -race).
+func TestParallelTrialsMatchSerial(t *testing.T) {
+	s := study(t, 2)
+	s.Tol = 1e-3
+	s.MaxIter = 100
+	s.Parallelism = 1
+	serialMean, err := s.Baseline(device.TaOx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialSt, err := s.Sweep("x", device.TaOx(), serialMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Parallelism = 4
+	parMean, err := s.Baseline(device.TaOx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parSt, err := s.Sweep("x", device.TaOx(), parMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialMean != parMean {
+		t.Errorf("baseline mean diverged: serial %v parallel %v", serialMean, parMean)
+	}
+	if serialSt != parSt {
+		t.Errorf("sweep stats diverged:\nserial   %+v\nparallel %+v", serialSt, parSt)
+	}
+}
