@@ -13,6 +13,7 @@
 package memsci_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"runtime"
@@ -30,6 +31,7 @@ import (
 	"memsci/internal/matgen"
 	"memsci/internal/montecarlo"
 	"memsci/internal/report"
+	"memsci/internal/serve"
 	"memsci/internal/solver"
 	"memsci/internal/sparse"
 )
@@ -510,4 +512,63 @@ func BenchmarkMotivationLowPrecision(b *testing.B) {
 		floor = sparse.Norm2(sparse.Residual(m, res.X, rhs)) / sparse.Norm2(rhs)
 	}
 	b.ReportMetric(floor, "16bit_residual_floor")
+}
+
+// ---- memserve engine cache: miss (program) vs hit (lease) ----
+
+func benchServeMatrix(n int) *sparse.CSR {
+	spec := matgen.Spec{
+		Name: "bench_serve", Rows: n, NNZ: n * 12, SPD: true,
+		Class: matgen.Banded, Band: 24, ExpSpread: 8, Seed: 42, DiagMargin: 0.1,
+	}
+	return spec.Generate()
+}
+
+// BenchmarkServeCacheMiss measures the cost a request pays when its
+// matrix is not resident: full blocking + cluster programming. Each
+// iteration perturbs one value so every fingerprint is unique.
+func BenchmarkServeCacheMiss(b *testing.B) {
+	m := benchServeMatrix(512)
+	c := serve.NewCache(serve.CacheConfig{MaxClusters: 1 << 30}, core.DefaultClusterConfig(), 1)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Vals[0] = 10 + float64(i)*1e-9
+		l, err := c.Acquire(ctx, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		l.Release()
+	}
+	b.StopTimer()
+	if got := c.Stats().Programmings; got != int64(b.N) {
+		b.Fatalf("programmings = %d, want %d (every miss programs)", got, b.N)
+	}
+}
+
+// BenchmarkServeCacheHit measures the steady-state request cost once the
+// engine is resident: a fingerprint, one map lookup, and a pool lease.
+func BenchmarkServeCacheHit(b *testing.B) {
+	m := benchServeMatrix(512)
+	c := serve.NewCache(serve.CacheConfig{}, core.DefaultClusterConfig(), 1)
+	ctx := context.Background()
+	l, err := c.Acquire(ctx, m) // warm the cache
+	if err != nil {
+		b.Fatal(err)
+	}
+	l.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := c.Acquire(ctx, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		l.Release()
+	}
+	b.StopTimer()
+	if got := c.Stats().Programmings; got != 1 {
+		b.Fatalf("programmings = %d, want 1 (hits program nothing)", got)
+	}
 }

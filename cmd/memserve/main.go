@@ -1,0 +1,85 @@
+// Command memserve runs the solver-as-a-service HTTP front end: it
+// accepts MatrixMarket systems over POST /solve, solves them with a
+// chosen Krylov method on the functional accelerator engine (or the CSR
+// reference operator), and amortizes the dominant cluster-programming
+// cost across requests through a content-hashed engine cache.
+//
+//	memserve -addr :8080 &
+//	curl -s http://localhost:8080/solve -d '{"matrix":"%%MatrixMarket matrix coordinate real symmetric\n2 2 3\n1 1 4\n2 2 4\n2 1 -1\n"}'
+//
+// GET /healthz reports liveness; GET /metrics exposes cache and latency
+// counters in Prometheus text format. On SIGINT/SIGTERM the server stops
+// accepting connections and drains in-flight solves before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"memsci/internal/core"
+	"memsci/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxClusters := flag.Int("cache-clusters", serve.DefaultMaxClusters, "engine-cache capacity in programmed clusters (the chip substrate holds 2048)")
+	pool := flag.Int("pool", serve.DefaultPoolSize, "engines per cache entry (parallel solves on one matrix)")
+	par := flag.Int("engine-par", 1, "worker parallelism inside each engine Apply (0 = GOMAXPROCS)")
+	maxBody := flag.Int64("max-body", 8<<20, "request body limit in bytes")
+	timeout := flag.Duration("timeout", 60*time.Second, "default per-request solve deadline")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
+	seed := flag.Int64("seed", 1, "device-error seed base for programmed engines")
+	inject := flag.Bool("inject-errors", false, "enable the analog device-error model")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown grace period for in-flight solves")
+	flag.Parse()
+
+	ccfg := core.DefaultClusterConfig()
+	ccfg.InjectErrors = *inject
+
+	srv := serve.New(serve.Config{
+		MaxBodyBytes:   *maxBody,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Cluster:        ccfg,
+		Seed:           *seed,
+		Cache: serve.CacheConfig{
+			MaxClusters:       *maxClusters,
+			PoolSize:          *pool,
+			EngineParallelism: *par,
+		},
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("memserve listening on %s (cache %d clusters, pool %d)", *addr, *maxClusters, *pool)
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("memserve: %v", err)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Printf("memserve: shutting down, draining in-flight solves (up to %s)", *drain)
+		shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(shCtx); err != nil {
+			log.Printf("memserve: shutdown: %v", err)
+		}
+	}
+}

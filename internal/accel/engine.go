@@ -167,6 +167,36 @@ func (e *Engine) applyParallel(y, x []float64) {
 	}
 }
 
+// Fork returns an engine sharing e's programmed crossbar state — every
+// cluster is forked via core.Cluster.Fork, so none of the programming
+// cost is paid again — with private per-cluster scratch and statistics.
+// A fork and its origin may Apply concurrently with each other (each
+// individual engine remains unsafe for concurrent Apply calls on
+// itself), which is how the serving layer's engine cache runs parallel
+// requests against one programmed matrix.
+func (e *Engine) Fork() *Engine {
+	n := &Engine{plan: e.plan, cfg: e.cfg, Parallelism: e.Parallelism}
+	n.clusters = make([]*engineBlock, len(e.clusters))
+	for i, eb := range e.clusters {
+		n.clusters[i] = &engineBlock{
+			cluster: eb.cluster.Fork(),
+			rowOff:  eb.rowOff, colOff: eb.colOff, rows: eb.rows, cols: eb.cols,
+		}
+	}
+	return n
+}
+
+// TakeStats returns the aggregated compute statistics and resets every
+// cluster's accumulator, so consecutive calls report disjoint windows of
+// work (the serving layer uses this for per-request hardware stats).
+func (e *Engine) TakeStats() core.ComputeStats {
+	s := e.Stats()
+	for _, eb := range e.clusters {
+		eb.cluster.ResetStats()
+	}
+	return s
+}
+
 // Stats aggregates the compute statistics over all clusters via
 // ComputeStats.Merge, in cluster order.
 func (e *Engine) Stats() core.ComputeStats {

@@ -341,3 +341,84 @@ func TestClipCoefsRejectsOutOfExtentEntries(t *testing.T) {
 		t.Error("expected error for entry before block origin")
 	}
 }
+
+// Fork shares programmed crossbar state: a fork of an aged engine applies
+// bit-identically to a freshly programmed engine, and origin + fork can
+// run concurrently (race-checked).
+func TestEngineForkBitIdenticalAndConcurrent(t *testing.T) {
+	m, plan := smallSystem(t, 192)
+	cfg := core.DefaultClusterConfig()
+	base, err := NewEngine(plan, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewEngine(plan, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	x := make([]float64, m.Cols())
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	scratch := make([]float64, m.Rows())
+	for i := 0; i < 3; i++ { // age the base
+		base.Apply(scratch, x)
+	}
+	fork := base.Fork()
+	if st := fork.Stats(); st.Ops != 0 {
+		t.Error("fork inherited statistics")
+	}
+	want := make([]float64, m.Rows())
+	got := make([]float64, m.Rows())
+	fresh.Apply(want, x)
+	fork.Apply(got, x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: fork %x vs fresh %x", i, got[i], want[i])
+		}
+	}
+
+	done := make(chan struct{}, 2)
+	for _, e := range []*Engine{base, fork} {
+		go func(e *Engine) {
+			y := make([]float64, m.Rows())
+			for i := 0; i < 3; i++ {
+				e.Apply(y, x)
+			}
+			done <- struct{}{}
+		}(e)
+	}
+	<-done
+	<-done
+}
+
+// TakeStats returns disjoint windows: the second take reports only work
+// performed after the first.
+func TestEngineTakeStatsWindows(t *testing.T) {
+	m, plan := smallSystem(t, 192)
+	eng, err := NewEngine(plan, core.DefaultClusterConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, m.Cols())
+	for i := range x {
+		x[i] = 1
+	}
+	y := make([]float64, m.Rows())
+
+	eng.Apply(y, x)
+	first := eng.TakeStats()
+	if first.Ops == 0 || first.Conversions == 0 {
+		t.Fatalf("first window empty: %+v", first)
+	}
+	if empty := eng.TakeStats(); empty.Ops != 0 || empty.Conversions != 0 {
+		t.Errorf("second take without work is non-empty: %+v", empty)
+	}
+	eng.Apply(y, x)
+	eng.Apply(y, x)
+	second := eng.TakeStats()
+	if second.Ops != 2*first.Ops {
+		t.Errorf("window ops %d, want %d", second.Ops, 2*first.Ops)
+	}
+}

@@ -247,6 +247,40 @@ func addShifted(words []big.Word, shift uint, v uint64) {
 	}
 }
 
+// Fork returns a cluster sharing c's programmed state — the encoded
+// bit-slice planes (with CIC inversion), the AN corrector table, the bias
+// and the block — with private scratch and statistics, so the fork costs
+// none of the O(M·N·planes) encode work of NewCluster. The shared state
+// is immutable after NewCluster, and Fork reads none of the mutable
+// fields, so a fork may be taken from, and run MulVec concurrently with,
+// a cluster that is mid-computation. With error injection disabled (the
+// validated design point) a fork is bit-identical to a freshly
+// programmed cluster; with injection enabled it gets a fresh sampler at
+// the configured seed and therefore draws the same error sequence a
+// freshly programmed cluster would.
+func (c *Cluster) Fork() *Cluster {
+	n := &Cluster{
+		cfg:       c.cfg,
+		block:     c.block,
+		planes:    c.planes,
+		planeBits: c.planeBits,
+		nPlanes:   c.nPlanes,
+		adc:       c.adc,
+		corr:      c.corr,
+		bias:      c.bias,
+		uMax:      c.uMax,
+		redWords:  make([]big.Word, len(c.redWords)),
+	}
+	if c.cfg.InjectErrors {
+		n.arr = device.NewArray(c.cfg.Device, c.cfg.Seed)
+	}
+	return n
+}
+
+// ResetStats clears the accumulated compute statistics so the next Stats
+// call reports only work performed after the reset.
+func (c *Cluster) ResetStats() { c.stats = ComputeStats{} }
+
 // Block returns the programmed block.
 func (c *Cluster) Block() *Block { return c.block }
 

@@ -554,3 +554,104 @@ func TestComputeStatsMergeCoversAllFields(t *testing.T) {
 	}
 	check(reflect.ValueOf(merged), reflect.ValueOf(a), reflect.ValueOf(b), "")
 }
+
+// Fork must share programmed state without re-encoding: a fork taken
+// from a cluster mid-life computes bit-identically to a freshly
+// programmed cluster, even while the origin keeps computing.
+func TestClusterForkBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	vals := randBlockVals(rng, 10, 10, 16, 0.7)
+	cfg := DefaultClusterConfig()
+
+	base := mustCluster(t, vals, cfg)
+	fresh := mustCluster(t, vals, cfg)
+	x := randVec(rng, 10, 8, 0.9)
+
+	// Age the base so its stats and scratch differ from a fresh cluster.
+	for i := 0; i < 3; i++ {
+		if _, err := base.MulVec(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fork := base.Fork()
+	if fork.Stats().Ops != 0 {
+		t.Error("fork inherited statistics")
+	}
+	want, err := fresh.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fork.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: fork %x vs fresh %x", i, got[i], want[i])
+		}
+	}
+
+	// Concurrent MulVec on origin and fork must be race-free (shared
+	// programmed planes are read-only; scratch is private).
+	done := make(chan error, 2)
+	for _, c := range []*Cluster{base, fork} {
+		go func(c *Cluster) {
+			var err error
+			for i := 0; i < 5 && err == nil; i++ {
+				_, err = c.MulVec(x)
+			}
+			done <- err
+		}(c)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// With error injection, a fork draws the same error sequence a freshly
+// programmed cluster would (fresh sampler at the configured seed).
+func TestClusterForkFreshErrorSampler(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	vals := randBlockVals(rng, 8, 8, 10, 0.8)
+	cfg := DefaultClusterConfig()
+	cfg.InjectErrors = true
+	cfg.Seed = 1234
+	cfg.Device.ProgError = 0.01
+
+	base := mustCluster(t, vals, cfg)
+	fresh := mustCluster(t, vals, cfg)
+	x := randVec(rng, 8, 6, 0.9)
+	if _, err := base.MulVec(x); err != nil { // advance base's sampler
+		t.Fatal(err)
+	}
+	want, err := fresh.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := base.Fork().MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: fork %x vs fresh %x under injected errors", i, got[i], want[i])
+		}
+	}
+}
+
+func TestClusterResetStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	c := mustCluster(t, randBlockVals(rng, 6, 6, 8, 0.8), DefaultClusterConfig())
+	if _, err := c.MulVec(randVec(rng, 6, 4, 0.9)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Ops == 0 || c.Stats().Conversions == 0 {
+		t.Fatal("stats empty after MulVec")
+	}
+	c.ResetStats()
+	if !reflect.DeepEqual(*c.Stats(), ComputeStats{}) {
+		t.Errorf("ResetStats left residue: %+v", *c.Stats())
+	}
+}

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+)
+
+// Metrics aggregates serving counters. The /metrics handler renders them
+// together with the cache counters in Prometheus text exposition format,
+// hand-rolled because the module deliberately has no dependencies.
+type Metrics struct {
+	requests atomic.Int64 // completed /solve requests
+	failures atomic.Int64 // /solve requests answered with an error status
+	inFlight atomic.Int64 // solves currently executing
+
+	solves       atomic.Int64
+	solveNanos   atomic.Int64 // summed solve wall-clock
+	programNanos atomic.Int64 // summed cache-acquire wall-clock (accel)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	writeMetrics(w, &s.metrics, s.cache.Stats())
+}
+
+func writeMetrics(w io.Writer, m *Metrics, cs CacheStats) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	seconds := func(name, help string, nanos int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, float64(nanos)/1e9)
+	}
+
+	counter("memserve_requests_total", "Completed /solve requests.", m.requests.Load())
+	counter("memserve_request_failures_total", "Requests answered with an error status.", m.failures.Load())
+	gauge("memserve_inflight_solves", "Solves currently executing.", m.inFlight.Load())
+	counter("memserve_solves_total", "Solver invocations.", m.solves.Load())
+	seconds("memserve_solve_seconds_total", "Summed solve wall-clock time.", m.solveNanos.Load())
+	seconds("memserve_program_seconds_total", "Summed engine-acquisition wall-clock time (programming on misses).", m.programNanos.Load())
+
+	counter("memserve_cache_hits_total", "Engine-cache acquisitions served from a resident entry.", cs.Hits)
+	counter("memserve_cache_misses_total", "Engine-cache acquisitions that initiated programming.", cs.Misses)
+	counter("memserve_cache_coalesced_total", "Acquisitions deduplicated onto another request's programming.", cs.Coalesced)
+	counter("memserve_cache_evictions_total", "Entries evicted by the LRU cluster bound.", cs.Evictions)
+	counter("memserve_cache_programmings_total", "Engines programmed from scratch.", cs.Programmings)
+	counter("memserve_cache_forks_total", "Pool engines materialized by forking programmed state.", cs.Forks)
+	gauge("memserve_cache_entries", "Resident cache entries.", int64(cs.Entries))
+	gauge("memserve_cache_clusters", "Programmed clusters held by resident entries.", int64(cs.Clusters))
+}

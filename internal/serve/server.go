@@ -1,0 +1,359 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"memsci/internal/core"
+	"memsci/internal/solver"
+	"memsci/internal/sparse"
+)
+
+// Config parameterizes a Server. The zero value selects the defaults
+// documented on each field.
+type Config struct {
+	// MaxBodyBytes caps the request body (0 = 8 MiB).
+	MaxBodyBytes int64
+	// MaxRows and MaxNNZ cap accepted systems after parsing, bounding
+	// the memory a single request can pin (0 = 1<<20 rows, 1<<24 nnz).
+	MaxRows int
+	MaxNNZ  int
+	// DefaultTimeout is the per-request solve deadline when the request
+	// does not name one (0 = 60s). MaxTimeout caps client-requested
+	// deadlines (0 = 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Cluster is the hardware configuration engines are programmed with
+	// (zero value = core.DefaultClusterConfig()). It participates in the
+	// cache key, so reconfigured servers never share stale engines.
+	Cluster core.ClusterConfig
+	// Seed is the device-error seed base for programmed engines.
+	Seed int64
+	// Cache sizes the engine cache.
+	Cache CacheConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxRows <= 0 {
+		c.MaxRows = 1 << 20
+	}
+	if c.MaxNNZ <= 0 {
+		c.MaxNNZ = 1 << 24
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.Cluster.Device.BitsPerCell == 0 {
+		c.Cluster = core.DefaultClusterConfig()
+	}
+	return c
+}
+
+// Server is the HTTP solver service. It implements http.Handler with
+// three routes: POST /solve, GET /healthz, and GET /metrics.
+type Server struct {
+	cfg     Config
+	cache   *Cache
+	metrics Metrics
+	mux     *http.ServeMux
+}
+
+// New builds a Server from the configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg}
+	s.cache = NewCache(cfg.Cache, cfg.Cluster, cfg.Seed)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /solve", s.handleSolve)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Cache exposes the engine cache (tests and metrics).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// ServeHTTP dispatches to the route handlers.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SolveRequest is the POST /solve body.
+type SolveRequest struct {
+	// Matrix is the system matrix in MatrixMarket coordinate text.
+	Matrix string `json:"matrix"`
+	// B is the right-hand side; omitted = all ones (§VII-C).
+	B []float64 `json:"b,omitempty"`
+	// Method is auto (default), cg, bicgstab, bicg, or gmres. Auto
+	// follows the paper's policy: CG for symmetric matrices, BiCG-STAB
+	// otherwise.
+	Method string `json:"method,omitempty"`
+	// Backend is accel (default; the functional crossbar engine via the
+	// cache) or csr (the reference local-processor operator).
+	Backend string `json:"backend,omitempty"`
+	// Tol is the relative residual tolerance (0 = 1e-8).
+	Tol float64 `json:"tol,omitempty"`
+	// MaxIter caps iterations (0 = 10·n).
+	MaxIter int `json:"max_iter,omitempty"`
+	// Restart is the GMRES restart length (0 = 30).
+	Restart int `json:"restart,omitempty"`
+	// Jacobi enables diagonal preconditioning (cg and bicgstab only).
+	Jacobi bool `json:"jacobi,omitempty"`
+	// TimeoutMS overrides the server's default solve deadline, capped
+	// at the server's maximum.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// CacheInfo reports how the engine cache served a request.
+type CacheInfo struct {
+	Hit bool   `json:"hit"`
+	Key string `json:"key"`
+}
+
+// Timings reports per-phase wall-clock milliseconds.
+type Timings struct {
+	Parse float64 `json:"parse"`
+	// Program covers cache acquisition: near zero on hits, the full
+	// preprocessing + cluster-programming cost on misses.
+	Program float64 `json:"program"`
+	Solve   float64 `json:"solve"`
+	Total   float64 `json:"total"`
+}
+
+// SolveResponse is the POST /solve result.
+type SolveResponse struct {
+	X          []float64 `json:"x"`
+	Iterations int       `json:"iterations"`
+	Converged  bool      `json:"converged"`
+	Residual   float64   `json:"residual"`
+	Breakdown  bool      `json:"breakdown,omitempty"`
+	Method     string    `json:"method"`
+	Backend    string    `json:"backend"`
+	Rows       int       `json:"rows"`
+	NNZ        int       `json:"nnz"`
+	// Cache and Hardware are present for the accel backend only:
+	// Hardware is the engine's compute-statistics delta for this solve.
+	Cache    *CacheInfo         `json:"cache,omitempty"`
+	Hardware *core.ComputeStats `json:"hardware,omitempty"`
+	Timings  Timings            `json:"timings_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.metrics.inFlight.Add(1)
+	defer s.metrics.inFlight.Add(-1)
+	defer s.metrics.requests.Add(1)
+	// A diverging solve can hand the engine non-finite vectors, which
+	// the crossbar pipeline rejects by panicking; report it as a server
+	// error instead of tearing the connection down.
+	defer func() {
+		if p := recover(); p != nil {
+			s.fail(w, http.StatusInternalServerError, fmt.Sprintf("internal: %v", p))
+		}
+	}()
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req SolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return
+	}
+
+	coo, _, err := sparse.ReadMatrixMarket(strings.NewReader(req.Matrix))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if coo.Rows != coo.Cols {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("system must be square, got %dx%d", coo.Rows, coo.Cols))
+		return
+	}
+	if coo.Rows > s.cfg.MaxRows || coo.NNZ() > s.cfg.MaxNNZ {
+		s.fail(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("system %dx%d with %d entries exceeds limits (%d rows, %d nnz)",
+				coo.Rows, coo.Cols, coo.NNZ(), s.cfg.MaxRows, s.cfg.MaxNNZ))
+		return
+	}
+	m := coo.ToCSR()
+	parseMS := msSince(start)
+
+	b := req.B
+	if b == nil {
+		b = sparse.Ones(m.Rows())
+	} else if len(b) != m.Rows() {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("b has %d entries, system has %d rows", len(b), m.Rows()))
+		return
+	}
+
+	backend := strings.ToLower(req.Backend)
+	if backend == "" {
+		backend = "accel"
+	}
+	if backend != "accel" && backend != "csr" {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("unknown backend %q (want accel or csr)", req.Backend))
+		return
+	}
+	method := strings.ToLower(req.Method)
+	if method == "" || method == "auto" {
+		if m.IsSymmetric(1e-12) {
+			method = "cg"
+		} else {
+			method = "bicgstab"
+		}
+	}
+	switch method {
+	case "cg", "bicgstab", "bicg", "gmres":
+	default:
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("unknown method %q", req.Method))
+		return
+	}
+	if method == "bicg" && backend == "accel" {
+		s.fail(w, http.StatusBadRequest, "bicg needs the transpose operator; use backend csr")
+		return
+	}
+	if req.Jacobi && method != "cg" && method != "bicgstab" {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("jacobi preconditioning is not supported by %s", method))
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	opt := solver.Options{
+		Tol:     req.Tol,
+		MaxIter: req.MaxIter,
+		Restart: req.Restart,
+		Ctx:     ctx,
+	}
+	if opt.Tol == 0 {
+		opt.Tol = 1e-8
+	}
+	if req.Jacobi {
+		opt.Diag = m.Diagonal()
+	}
+
+	var op solver.Operator = solver.CSROperator{M: m}
+	var cacheInfo *CacheInfo
+	var lease *Lease
+	progStart := time.Now()
+	if backend == "accel" {
+		lease, err = s.cache.Acquire(ctx, m)
+		if err != nil {
+			s.failCtx(w, err, http.StatusUnprocessableEntity)
+			return
+		}
+		defer lease.Release()
+		lease.Engine.TakeStats() // discard any stale window
+		op = lease.Engine
+		cacheInfo = &CacheInfo{Hit: lease.Hit, Key: lease.Key}
+		s.metrics.programNanos.Add(time.Since(progStart).Nanoseconds())
+	}
+	programMS := msSince(progStart)
+
+	solveStart := time.Now()
+	res, err := runMethod(method, op, m, b, opt)
+	s.metrics.solveNanos.Add(time.Since(solveStart).Nanoseconds())
+	s.metrics.solves.Add(1)
+	if err != nil {
+		s.failCtx(w, err, http.StatusBadRequest)
+		return
+	}
+	var hw *core.ComputeStats
+	if lease != nil {
+		st := lease.Engine.TakeStats()
+		hw = &st
+	}
+
+	writeJSON(w, http.StatusOK, &SolveResponse{
+		X:          res.X,
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+		Residual:   res.Residual,
+		Breakdown:  res.Breakdown,
+		Method:     method,
+		Backend:    backend,
+		Rows:       m.Rows(),
+		NNZ:        m.NNZ(),
+		Cache:      cacheInfo,
+		Hardware:   hw,
+		Timings: Timings{
+			Parse:   parseMS,
+			Program: programMS,
+			Solve:   msSince(solveStart),
+			Total:   msSince(start),
+		},
+	})
+}
+
+// runMethod dispatches one named method. BiCG takes the CSR matrix for
+// its transpose path (the handler rejects bicg on the accel backend).
+func runMethod(method string, op solver.Operator, m *sparse.CSR, b []float64, opt solver.Options) (*solver.Result, error) {
+	switch method {
+	case "cg":
+		return solver.CG(op, b, opt)
+	case "bicgstab":
+		return solver.BiCGSTAB(op, b, opt)
+	case "bicg":
+		return solver.BiCG(solver.CSROperator{M: m}, b, opt)
+	case "gmres":
+		return solver.GMRES(op, b, opt)
+	}
+	return nil, fmt.Errorf("serve: unknown method %q", method)
+}
+
+// failCtx maps context errors to gateway-timeout / unavailable statuses
+// and everything else to fallback.
+func (s *Server) failCtx(w http.ResponseWriter, err error, fallback int) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.fail(w, http.StatusGatewayTimeout, err.Error())
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is for the log's benefit.
+		s.fail(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		s.fail(w, fallback, err.Error())
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
+	s.metrics.failures.Add(1)
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func msSince(t time.Time) float64 { return float64(time.Since(t).Nanoseconds()) / 1e6 }

@@ -10,6 +10,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -59,6 +60,13 @@ type Options struct {
 	Diag []float64
 	// Restart is the GMRES restart length (0 = 30).
 	Restart int
+	// Ctx, when non-nil, is polled once per iteration: the solve returns
+	// the partial result so far together with an error wrapping the
+	// context's error (distinguishable via errors.Is against
+	// context.Canceled / context.DeadlineExceeded) as soon as the
+	// context is done. Nil preserves the historical run-to-completion
+	// behavior.
+	Ctx context.Context
 }
 
 // DefaultOptions returns ε = 1e-8 with an iteration cap of 10·n.
@@ -94,6 +102,30 @@ func maxIter(opt Options, n int) int {
 	return 10 * n
 }
 
+// checkCtx polls the optional cancellation context once per iteration.
+func checkCtx(opt Options, iters int) error {
+	if opt.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-opt.Ctx.Done():
+		return fmt.Errorf("solver: stopped after %d iterations: %w", iters, opt.Ctx.Err())
+	default:
+		return nil
+	}
+}
+
+// checkDiag validates the Jacobi preconditioner vector for the methods
+// that support it (CG, BiCG-STAB): when set it must match the system
+// dimension exactly — a short diagonal would silently precondition with
+// zeros and a long one would corrupt memory in the scaling loops.
+func checkDiag(diag []float64, n int) error {
+	if diag != nil && len(diag) != n {
+		return fmt.Errorf("%w: Jacobi diagonal length %d, system %d", ErrDimension, len(diag), n)
+	}
+	return nil
+}
+
 // CG solves A·x = b for SPD A by the conjugate gradient method
 // (Hestenes & Stiefel), optionally Jacobi-preconditioned.
 func CG(a Operator, b []float64, opt Options) (*Result, error) {
@@ -101,6 +133,9 @@ func CG(a Operator, b []float64, opt Options) (*Result, error) {
 		return nil, err
 	}
 	n := len(b)
+	if err := checkDiag(opt.Diag, n); err != nil {
+		return nil, err
+	}
 	res := &Result{X: make([]float64, n)}
 	normB := sparse.Norm2(b)
 	if normB == 0 {
@@ -137,6 +172,9 @@ func CG(a Operator, b []float64, opt Options) (*Result, error) {
 
 	limit := maxIter(opt, n)
 	for k := 0; k < limit; k++ {
+		if err := checkCtx(opt, res.Iterations); err != nil {
+			return res, err
+		}
 		a.Apply(ap, p)
 		pap := sparse.Dot(p, ap)
 		if pap == 0 {
@@ -175,6 +213,9 @@ func CG(a Operator, b []float64, opt Options) (*Result, error) {
 // wildly scaled diagonals of circuit and device matrices.
 func BiCGSTAB(a Operator, b []float64, opt Options) (*Result, error) {
 	if opt.Diag != nil {
+		if err := checkDiag(opt.Diag, len(b)); err != nil {
+			return nil, err
+		}
 		inv := make([]float64, len(opt.Diag))
 		for i, d := range opt.Diag {
 			if d == 0 {
@@ -211,6 +252,9 @@ func BiCGSTAB(a Operator, b []float64, opt Options) (*Result, error) {
 
 	limit := maxIter(opt, n)
 	for k := 0; k < limit; k++ {
+		if err := checkCtx(opt, res.Iterations); err != nil {
+			return res, err
+		}
 		rhoNew := sparse.Dot(rHat, r)
 		if rhoNew == 0 {
 			res.Breakdown = true
@@ -276,7 +320,12 @@ func BiCGSTAB(a Operator, b []float64, opt Options) (*Result, error) {
 }
 
 // BiCG solves A·x = b by the biconjugate gradient method, requiring Aᵀ.
+// Jacobi preconditioning (Options.Diag) is not supported and is rejected
+// rather than silently ignored.
 func BiCG(a TransposeOperator, b []float64, opt Options) (*Result, error) {
+	if opt.Diag != nil {
+		return nil, fmt.Errorf("solver: BiCG does not support Jacobi preconditioning (Options.Diag)")
+	}
 	if err := checkDims(a, b); err != nil {
 		return nil, err
 	}
@@ -297,6 +346,9 @@ func BiCG(a TransposeOperator, b []float64, opt Options) (*Result, error) {
 
 	limit := maxIter(opt, n)
 	for k := 0; k < limit; k++ {
+		if err := checkCtx(opt, res.Iterations); err != nil {
+			return res, err
+		}
 		if rho == 0 {
 			res.Breakdown = true
 			break
@@ -335,8 +387,12 @@ func BiCG(a TransposeOperator, b []float64, opt Options) (*Result, error) {
 }
 
 // GMRES solves A·x = b by restarted GMRES(m) with modified Gram-Schmidt
-// Arnoldi and Givens rotations.
+// Arnoldi and Givens rotations. Jacobi preconditioning (Options.Diag) is
+// not supported and is rejected rather than silently ignored.
 func GMRES(a Operator, b []float64, opt Options) (*Result, error) {
+	if opt.Diag != nil {
+		return nil, fmt.Errorf("solver: GMRES does not support Jacobi preconditioning (Options.Diag)")
+	}
 	if err := checkDims(a, b); err != nil {
 		return nil, err
 	}
@@ -372,6 +428,9 @@ func GMRES(a Operator, b []float64, opt Options) (*Result, error) {
 	g := make([]float64, m+1)
 
 	for res.Iterations < limit {
+		if err := checkCtx(opt, res.Iterations); err != nil {
+			return res, err
+		}
 		// r = b − A·x
 		a.Apply(r, res.X)
 		for i := range r {
@@ -394,6 +453,9 @@ func GMRES(a Operator, b []float64, opt Options) (*Result, error) {
 
 		k := 0
 		for ; k < m && res.Iterations < limit; k++ {
+			if err := checkCtx(opt, res.Iterations); err != nil {
+				return res, err
+			}
 			a.Apply(w, v[k])
 			res.Iterations++
 			// Modified Gram-Schmidt.

@@ -1,6 +1,8 @@
 package solver
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -282,5 +284,160 @@ func TestBiCGSTABJacobiPreconditioned(t *testing.T) {
 	// on top of the tolerance.
 	if rn := residualNorm(c, prec.X, b); rn > 1e-6 {
 		t.Errorf("true residual %g", rn)
+	}
+}
+
+// methodTable names the four Krylov drivers for table-driven edge tests.
+var methodTable = []struct {
+	name string
+	run  func(Operator, []float64, Options) (*Result, error)
+}{
+	{"cg", CG},
+	{"bicgstab", BiCGSTAB},
+	{"bicg", func(a Operator, b []float64, opt Options) (*Result, error) {
+		return BiCG(a.(TransposeOperator), b, opt)
+	}},
+	{"gmres", GMRES},
+}
+
+func TestSolverContextAlreadyCanceled(t *testing.T) {
+	m := nonsym(40, 1)
+	b := sparse.Ones(40)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, tc := range methodTable {
+		res, err := tc.run(CSROperator{m}, b, Options{Tol: 1e-10, Ctx: ctx})
+		if err == nil {
+			t.Fatalf("%s: no error from canceled context", tc.name)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: error %v does not unwrap to context.Canceled", tc.name, err)
+		}
+		if res == nil || res.Iterations != 0 {
+			t.Errorf("%s: expected zero-iteration partial result, got %+v", tc.name, res)
+		}
+	}
+}
+
+// cancellingOp cancels its context after a fixed number of Apply calls,
+// modeling a client that walks away mid-solve.
+type cancellingOp struct {
+	inner   Operator
+	cancel  context.CancelFunc
+	after   int
+	applies int
+}
+
+func (o *cancellingOp) Apply(dst, x []float64) {
+	o.applies++
+	if o.applies >= o.after {
+		o.cancel()
+	}
+	o.inner.Apply(dst, x)
+}
+func (o *cancellingOp) Rows() int { return o.inner.Rows() }
+func (o *cancellingOp) Cols() int { return o.inner.Cols() }
+
+func TestSolverContextCancelMidSolve(t *testing.T) {
+	m := poisson1D(200)
+	b := sparse.Ones(200)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	op := &cancellingOp{inner: CSROperator{m}, cancel: cancel, after: 3}
+	res, err := CG(op, b, Options{Tol: 1e-14, Ctx: ctx})
+	if err == nil {
+		t.Fatal("mid-solve cancellation not surfaced")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not unwrap to context.Canceled", err)
+	}
+	if res.Converged {
+		t.Error("canceled solve claimed convergence")
+	}
+	if res.Iterations == 0 || len(res.X) != 200 {
+		t.Errorf("partial progress lost: %d iterations, |x|=%d", res.Iterations, len(res.X))
+	}
+}
+
+func TestSolverContextDeadlineDistinguishable(t *testing.T) {
+	m := poisson1D(50)
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	_, err := CG(CSROperator{m}, sparse.Ones(50), Options{Tol: 1e-10, Ctx: ctx})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error %v does not unwrap to context.DeadlineExceeded", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Errorf("deadline error %v also matches context.Canceled", err)
+	}
+}
+
+func TestSolverMaxIterCapAllMethods(t *testing.T) {
+	m := poisson1D(300)
+	b := sparse.Ones(300)
+	for _, tc := range methodTable {
+		res, err := tc.run(CSROperator{m}, b, Options{Tol: 1e-30, MaxIter: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Converged {
+			t.Errorf("%s: converged at an unreachable tolerance", tc.name)
+		}
+		if res.Iterations != 3 {
+			t.Errorf("%s: iterations = %d, want exactly 3", tc.name, res.Iterations)
+		}
+	}
+}
+
+func TestSolverBreakdownPropagation(t *testing.T) {
+	// The antidiagonal permutation matrix with b = e1 zeroes the first
+	// curvature/correlation inner product in CG, BiCG, and BiCG-STAB.
+	anti := sparse.NewCOO(2, 2)
+	anti.Add(0, 1, 1)
+	anti.Add(1, 0, 1)
+	am := anti.ToCSR()
+	b := []float64{1, 0}
+	for _, tc := range methodTable[:3] {
+		res, err := tc.run(CSROperator{am}, b, Options{Tol: 1e-12})
+		if err != nil {
+			t.Fatalf("%s: breakdown returned hard error %v, want flagged result", tc.name, err)
+		}
+		if !res.Breakdown {
+			t.Errorf("%s: Breakdown not set: %+v", tc.name, res)
+		}
+		if res.Converged {
+			t.Errorf("%s: broken-down solve claimed convergence", tc.name)
+		}
+	}
+
+	// GMRES on the zero matrix: the Hessenberg pivot h[0][0] vanishes.
+	zm := sparse.NewCOO(2, 2).ToCSR()
+	res, err := GMRES(CSROperator{zm}, b, Options{Tol: 1e-12})
+	if err != nil {
+		t.Fatalf("gmres: %v", err)
+	}
+	if !res.Breakdown || res.Converged {
+		t.Errorf("gmres: Breakdown=%v Converged=%v, want true/false", res.Breakdown, res.Converged)
+	}
+}
+
+func TestSolverDiagValidation(t *testing.T) {
+	m := poisson1D(20)
+	b := sparse.Ones(20)
+	short := make([]float64, 19)
+	for i := range short {
+		short[i] = 2
+	}
+	for _, tc := range methodTable[:2] { // cg, bicgstab support Jacobi
+		_, err := tc.run(CSROperator{m}, b, Options{Tol: 1e-10, Diag: short})
+		if !errors.Is(err, ErrDimension) {
+			t.Errorf("%s: mismatched Diag length accepted: %v", tc.name, err)
+		}
+	}
+	for _, tc := range methodTable[2:] { // bicg, gmres reject Diag outright
+		_, err := tc.run(CSROperator{m}, b, Options{Tol: 1e-10, Diag: m.Diagonal()})
+		if err == nil {
+			t.Errorf("%s: unsupported Options.Diag silently ignored", tc.name)
+		}
 	}
 }

@@ -22,8 +22,34 @@ type MMHeader struct {
 	Symmetry string // "general", "symmetric", "skew-symmetric"
 }
 
+// maxEntryPrealloc caps the entry-slice capacity reserved from the size
+// line alone (~24 MiB of Entry structs): a hostile nnz count cannot
+// pre-allocate unbounded memory, it can only make the reader grow the
+// slice as actual data arrives.
+const maxEntryPrealloc = 1 << 20
+
+// satMul returns a·b, saturating at MaxUint64 instead of wrapping.
+func satMul(a, b uint64) uint64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > ^uint64(0)/b {
+		return ^uint64(0)
+	}
+	return a * b
+}
+
 // ReadMatrixMarket parses a MatrixMarket stream into a COO matrix.
 // Symmetric and skew-symmetric storage is expanded to general form.
+//
+// Duplicate coordinates are rejected deterministically: the MatrixMarket
+// specification forbids repeated entries in coordinate files, and
+// accepting them would make the parsed operator depend on an assembly
+// convention the file's producer never chose. (COO matrices built
+// programmatically keep their sum-on-Compact assembly semantics; the
+// strictness applies to the interchange format only.) For symmetric and
+// skew-symmetric files the implicit mirror counts as occupied, so a file
+// that stores both (i,j) and (j,i) is also rejected.
 func ReadMatrixMarket(r io.Reader) (*COO, MMHeader, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<24)
@@ -80,9 +106,20 @@ func ReadMatrixMarket(r io.Reader) (*COO, MMHeader, error) {
 	if rows < 0 || cols < 0 || nnz < 0 {
 		return nil, hdr, fmt.Errorf("matrixmarket: negative size %dx%d nnz %d", rows, cols, nnz)
 	}
+	// A coordinate file without duplicates holds at most rows·cols
+	// entries; a larger nnz is either corrupt or hostile.
+	if uint64(nnz) > satMul(uint64(rows), uint64(cols)) {
+		return nil, hdr, fmt.Errorf("matrixmarket: nnz %d exceeds %dx%d capacity", nnz, rows, cols)
+	}
 	m := NewCOO(rows, cols)
-	m.Entries = make([]Entry, 0, nnz)
+	prealloc := nnz
+	if prealloc > maxEntryPrealloc {
+		prealloc = maxEntryPrealloc
+	}
+	m.Entries = make([]Entry, 0, prealloc)
 
+	type coord struct{ i, j int }
+	seen := make(map[coord]struct{}, prealloc)
 	read := 0
 	for sc.Scan() && read < nnz {
 		line := strings.TrimSpace(sc.Text())
@@ -116,14 +153,20 @@ func ReadMatrixMarket(r io.Reader) (*COO, MMHeader, error) {
 		if i < 0 || i >= rows || j < 0 || j >= cols {
 			return nil, hdr, fmt.Errorf("matrixmarket: entry (%d,%d) outside %dx%d", i+1, j+1, rows, cols)
 		}
+		if _, dup := seen[coord{i, j}]; dup {
+			return nil, hdr, fmt.Errorf("matrixmarket: duplicate entry (%d,%d)", i+1, j+1)
+		}
+		seen[coord{i, j}] = struct{}{}
 		m.Add(i, j, v)
 		switch hdr.Symmetry {
 		case "symmetric":
 			if i != j {
+				seen[coord{j, i}] = struct{}{}
 				m.Add(j, i, v)
 			}
 		case "skew-symmetric":
 			if i != j {
+				seen[coord{j, i}] = struct{}{}
 				m.Add(j, i, -v)
 			}
 		}

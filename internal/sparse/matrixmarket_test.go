@@ -108,3 +108,96 @@ func TestMatrixMarketErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestMatrixMarketDuplicateEntriesRejected(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"general repeat", `%%MatrixMarket matrix coordinate real general
+2 2 3
+1 1 1.0
+2 2 2.0
+1 1 3.0
+`},
+		{"symmetric repeat", `%%MatrixMarket matrix coordinate real symmetric
+2 2 3
+1 1 1.0
+2 1 -1.0
+2 1 -1.0
+`},
+		{"symmetric mirror collision", `%%MatrixMarket matrix coordinate real symmetric
+2 2 2
+2 1 -1.0
+1 2 -1.0
+`},
+		{"skew mirror collision", `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 2
+2 1 -1.0
+1 2 1.0
+`},
+		{"pattern repeat", `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+1 2
+`},
+	}
+	for _, tc := range cases {
+		if _, _, err := ReadMatrixMarket(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: duplicate coordinates accepted", tc.name)
+		} else if !strings.Contains(err.Error(), "duplicate") {
+			t.Errorf("%s: error %v does not mention the duplicate", tc.name, err)
+		}
+	}
+}
+
+func TestMatrixMarketHostileSizeLine(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		// nnz exceeds rows·cols: impossible without duplicates.
+		{"nnz over capacity", "%%MatrixMarket matrix coordinate real general\n2 2 5\n1 1 1\n1 2 1\n2 1 1\n2 2 1\n1 1 1\n"},
+		// Huge dims whose product overflows int64; nnz still exceeds it.
+		{"overflowing dims", "%%MatrixMarket matrix coordinate real general\n2 2 999999999999\n"},
+		{"negative nnz", "%%MatrixMarket matrix coordinate real general\n2 2 -1\n"},
+	}
+	for _, tc := range cases {
+		if _, _, err := ReadMatrixMarket(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: hostile size line accepted", tc.name)
+		}
+	}
+}
+
+// A declared-huge nnz must not cause a huge allocation before any entry
+// is read: the prealloc is capped, and the parse fails on truncation.
+func TestMatrixMarketPreallocCapped(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real general\n2000000 2000000 1099511627776\n1 1 1.0\n"
+	if _, _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+		t.Error("truncated huge-nnz file accepted")
+	}
+}
+
+// Duplicate summing in COO.ToCSR is deterministic: insertion order does
+// not change the result, because compaction sorts before summing.
+func TestCOODuplicateSumOrderInvariant(t *testing.T) {
+	entries := [][3]float64{{0, 1, 0.1}, {0, 1, 0.2}, {0, 1, 0.3}, {1, 0, -4}}
+	build := func(perm []int) *CSR {
+		m := NewCOO(2, 2)
+		for _, p := range perm {
+			e := entries[p]
+			m.Add(int(e[0]), int(e[1]), e[2])
+		}
+		return m.ToCSR()
+	}
+	want := build([]int{0, 1, 2, 3})
+	for _, perm := range [][]int{{3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}} {
+		got := build(perm)
+		if got.NNZ() != want.NNZ() {
+			t.Fatalf("perm %v: nnz %d vs %d", perm, got.NNZ(), want.NNZ())
+		}
+		for k := range want.Vals {
+			if got.Vals[k] != want.Vals[k] {
+				t.Errorf("perm %v: val[%d] = %x, want %x", perm, k, got.Vals[k], want.Vals[k])
+			}
+		}
+	}
+}

@@ -58,7 +58,11 @@ func (m *COO) AddSym(row, col int, val float64) {
 // may count duplicates).
 func (m *COO) NNZ() int { return len(m.Entries) }
 
-// Compact sorts entries into row-major order and sums duplicates in place.
+// Compact sorts entries into row-major order and sums duplicates in
+// place. Duplicates at the same coordinate are summed in a canonical
+// order (ascending value bit pattern), so the result is bit-identical
+// for any permutation of the same entry multiset — the engine cache
+// fingerprints CSR bytes and relies on this.
 func (m *COO) Compact() {
 	if len(m.Entries) == 0 {
 		return
@@ -68,7 +72,10 @@ func (m *COO) Compact() {
 		if a.Row != b.Row {
 			return a.Row < b.Row
 		}
-		return a.Col < b.Col
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return math.Float64bits(a.Val) < math.Float64bits(b.Val)
 	})
 	out := m.Entries[:1]
 	for _, e := range m.Entries[1:] {
