@@ -30,6 +30,7 @@ import (
 	"memsci/internal/lowprec"
 	"memsci/internal/matgen"
 	"memsci/internal/montecarlo"
+	"memsci/internal/obs"
 	"memsci/internal/report"
 	"memsci/internal/serve"
 	"memsci/internal/solver"
@@ -325,6 +326,37 @@ func BenchmarkEngineApplyParallel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		eng.Apply(y, x)
 	}
+}
+
+// BenchmarkEngineSolveMonitor pins the telemetry overhead on solves at
+// BenchmarkEngineApplyParallel scale: "none" exercises the nil-Monitor
+// fast path (one predictable branch per iteration — the acceptance bound
+// is <= 5% vs the pre-hook solver, and the branch is orders of magnitude
+// below that), "recorder" attaches the full obs.Recorder including
+// per-iteration hardware-counter sampling.
+func BenchmarkEngineSolveMonitor(b *testing.B) {
+	run := func(b *testing.B, attach bool) {
+		eng, _, _ := benchEngine(b, runtime.GOMAXPROCS(0))
+		rhs := sparse.Ones(eng.Rows())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			opt := solver.Options{Tol: 1e-8, MaxIter: 40}
+			var rec *obs.Recorder
+			if attach {
+				rec = obs.NewRecorder(eng.HWCounters)
+				opt.Monitor = rec.Observe
+			}
+			res, err := solver.CG(eng, rhs, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if attach {
+				rec.Finish(res.Converged, res.Residual)
+			}
+		}
+	}
+	b.Run("none", func(b *testing.B) { run(b, false) })
+	b.Run("recorder", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkNewEngineParallel measures concurrent block programming (the

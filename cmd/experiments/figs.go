@@ -9,6 +9,7 @@ import (
 	"memsci/internal/blocking"
 	"memsci/internal/core"
 	"memsci/internal/matgen"
+	"memsci/internal/obs"
 	"memsci/internal/report"
 	"memsci/internal/solver"
 	"memsci/internal/sparse"
@@ -37,7 +38,7 @@ func generate(spec matgen.Spec, opt *options) *sparse.CSR {
 // transfers. Counts cap at 3000 (the paper reports "thousands of
 // iterations"; a capped measurement only makes the Fig. 10 amortization
 // *more* conservative).
-func measureIters(spec matgen.Spec) (int, error) {
+func measureIters(spec matgen.Spec, eopt *options) (int, error) {
 	scale := 40000.0 / float64(spec.Rows)
 	if scale > 1 {
 		scale = 1
@@ -47,17 +48,32 @@ func measureIters(spec matgen.Spec) (int, error) {
 		return 0, err
 	}
 	opt := solver.Options{Tol: 1e-8, MaxIter: 3000}
+	var rec *obs.Recorder
+	if eopt.trace != "" {
+		rec = obs.NewRecorder(nil)
+		opt.Monitor = rec.Observe
+	}
 	op := solver.CSROperator{M: m}
 	b := sparse.Ones(m.Rows())
+	method := "cg"
 	var res *solver.Result
 	var err error
 	if spec.SPD {
 		res, err = solver.CG(op, b, opt)
 	} else {
+		method = "bicgstab"
 		res, err = solver.BiCGSTAB(op, b, opt)
 	}
 	if err != nil {
 		return 0, err
+	}
+	if rec != nil {
+		t := rec.Finish(res.Converged, res.Residual)
+		t.Label, t.Method, t.Backend = spec.Name+"/measure-iters", method, "csr"
+		t.Rows, t.NNZ = m.Rows(), m.NNZ()
+		if err := eopt.dumpTrace(t); err != nil {
+			return 0, err
+		}
 	}
 	if res.Iterations == 0 {
 		return 1, nil
@@ -77,7 +93,7 @@ func evaluateCatalog(opt *options) ([]*accel.Evaluation, error) {
 		m := generate(spec, opt)
 		iters := spec.SolveIters
 		if opt.measure {
-			mi, err := measureIters(spec)
+			mi, err := measureIters(spec, opt)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", spec.Name, err)
 			}

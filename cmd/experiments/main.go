@@ -30,6 +30,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
+
+	"memsci/internal/obs"
 )
 
 type options struct {
@@ -40,6 +43,39 @@ type options struct {
 	seed    int64
 	measure bool
 	par     int
+	trace   string
+
+	traceMu   sync.Mutex
+	traceFile *os.File
+}
+
+// dumpTrace appends one solve's per-iteration JSONL rows to the -trace
+// file (lazily created; a no-op when -trace is unset). Serialized so
+// experiments that solve from worker goroutines interleave whole traces
+// rather than torn lines.
+func (o *options) dumpTrace(t *obs.SolveTrace) error {
+	if o.trace == "" {
+		return nil
+	}
+	o.traceMu.Lock()
+	defer o.traceMu.Unlock()
+	if o.traceFile == nil {
+		f, err := os.Create(o.trace)
+		if err != nil {
+			return err
+		}
+		o.traceFile = f
+	}
+	return t.WriteJSONL(o.traceFile)
+}
+
+func (o *options) closeTrace() {
+	o.traceMu.Lock()
+	defer o.traceMu.Unlock()
+	if o.traceFile != nil {
+		o.traceFile.Close()
+		o.traceFile = nil
+	}
 }
 
 func main() {
@@ -51,7 +87,9 @@ func main() {
 	flag.Int64Var(&opt.seed, "seed", 1, "Monte-Carlo base seed")
 	flag.BoolVar(&opt.measure, "measure-iters", false, "measure solver iteration counts on scaled stand-ins instead of using the catalog counts")
 	flag.IntVar(&opt.par, "par", 0, "worker goroutines for Monte-Carlo trials and cluster execution (0 = GOMAXPROCS, 1 = serial)")
+	flag.StringVar(&opt.trace, "trace", "", "write per-iteration solver traces (JSONL) from the numeric solves (-measure-iters, motivation) to this file")
 	flag.Parse()
+	defer opt.closeTrace()
 
 	runs := map[string]func(*options) error{
 		"table1":     runTable1,

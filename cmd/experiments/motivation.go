@@ -5,6 +5,7 @@ import (
 
 	"memsci/internal/lowprec"
 	"memsci/internal/matgen"
+	"memsci/internal/obs"
 	"memsci/internal/report"
 	"memsci/internal/solver"
 	"memsci/internal/sparse"
@@ -26,9 +27,33 @@ func runMotivation(opt *options) error {
 	b := sparse.Ones(m.Rows())
 	sopt := solver.Options{Tol: 1e-10, MaxIter: 5000}
 
+	// tracedCG runs one CG solve, dumping its per-iteration trace when
+	// the -trace flag is set (CSR-style operators: no hardware deltas).
+	tracedCG := func(op solver.Operator, label string) (*solver.Result, error) {
+		runOpt := sopt
+		var rec *obs.Recorder
+		if opt.trace != "" {
+			rec = obs.NewRecorder(nil)
+			runOpt.Monitor = rec.Observe
+		}
+		res, err := solver.CG(op, b, runOpt)
+		if err != nil {
+			return nil, err
+		}
+		if rec != nil {
+			tr := rec.Finish(res.Converged, res.Residual)
+			tr.Label, tr.Method, tr.Backend = label, "cg", "csr"
+			tr.Rows, tr.NNZ = m.Rows(), m.NNZ()
+			if err := opt.dumpTrace(tr); err != nil {
+				return nil, err
+			}
+		}
+		return res, nil
+	}
+
 	t := report.NewTable("datapath", "matrix quantization error", "CG iterations", "true residual", "reaches eps=1e-8?")
 
-	ref, err := solver.CG(solver.CSROperator{M: m}, b, sopt)
+	ref, err := tracedCG(solver.CSROperator{M: m}, "motivation/ieee-double")
 	if err != nil {
 		return err
 	}
@@ -43,7 +68,7 @@ func runMotivation(opt *options) error {
 		if err != nil {
 			return err
 		}
-		res, err := solver.CG(op, b, sopt)
+		res, err := tracedCG(op, fmt.Sprintf("motivation/%d-bit", bits))
 		if err != nil {
 			return err
 		}

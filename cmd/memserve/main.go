@@ -7,8 +7,13 @@
 //	memserve -addr :8080 &
 //	curl -s http://localhost:8080/solve -d '{"matrix":"%%MatrixMarket matrix coordinate real symmetric\n2 2 3\n1 1 4\n2 2 4\n2 1 -1\n"}'
 //
-// GET /healthz reports liveness; GET /metrics exposes cache and latency
-// counters in Prometheus text format. On SIGINT/SIGTERM the server stops
+// GET /healthz reports liveness; GET /metrics exposes latency and
+// iteration histograms plus cache counters in Prometheus text format;
+// GET /debug/traces returns recent per-iteration solve traces. With
+// -debug-addr set, a second listener serves net/http/pprof (plus the
+// same traces and metrics) for profiling without exposing pprof to
+// solve traffic. Requests carry X-Request-Id and are logged
+// structured via log/slog. On SIGINT/SIGTERM the server stops
 // accepting connections and drains in-flight solves before exiting.
 package main
 
@@ -16,7 +21,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -24,11 +29,13 @@ import (
 	"time"
 
 	"memsci/internal/core"
+	"memsci/internal/parallel"
 	"memsci/internal/serve"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	debugAddr := flag.String("debug-addr", "", "optional debug listen address serving net/http/pprof and /debug/traces (empty = disabled)")
 	maxClusters := flag.Int("cache-clusters", serve.DefaultMaxClusters, "engine-cache capacity in programmed clusters (the chip substrate holds 2048)")
 	pool := flag.Int("pool", serve.DefaultPoolSize, "engines per cache entry (parallel solves on one matrix)")
 	par := flag.Int("engine-par", 1, "worker parallelism inside each engine Apply (0 = GOMAXPROCS)")
@@ -38,7 +45,22 @@ func main() {
 	seed := flag.Int64("seed", 1, "device-error seed base for programmed engines")
 	inject := flag.Bool("inject-errors", false, "enable the analog device-error model")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown grace period for in-flight solves")
+	traceRing := flag.Int("trace-ring", 64, "recent solve traces kept for /debug/traces")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
+	verbose := flag.Bool("v", false, "debug-level logging (includes /healthz and /metrics access lines)")
 	flag.Parse()
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, opts)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, opts)
+	}
+	logger := slog.New(handler)
+	slog.SetDefault(logger)
 
 	ccfg := core.DefaultClusterConfig()
 	ccfg.InjectErrors = *inject
@@ -54,6 +76,8 @@ func main() {
 			PoolSize:          *pool,
 			EngineParallelism: *par,
 		},
+		Logger:        logger,
+		TraceRingSize: *traceRing,
 	})
 	hs := &http.Server{
 		Addr:              *addr,
@@ -64,22 +88,48 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("memserve listening on %s (cache %d clusters, pool %d)", *addr, *maxClusters, *pool)
+
+	var ds *http.Server
+	if *debugAddr != "" {
+		ds = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           srv.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() { errc <- ds.ListenAndServe() }()
+	}
+
+	logger.Info("memserve listening",
+		"addr", *addr,
+		"debug_addr", *debugAddr,
+		"cache_clusters", *maxClusters,
+		"pool_size", *pool,
+		"engine_parallelism", parallel.Clamp(*par, 1<<30),
+		"inject_errors", *inject,
+		"default_timeout", *timeout,
+		"max_timeout", *maxTimeout,
+		"max_body_bytes", *maxBody,
+		"trace_ring", *traceRing,
+	)
 
 	select {
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("memserve: %v", err)
+			logger.Error("memserve listener failed", "err", err)
+			os.Exit(1)
 		}
 	case <-ctx.Done():
 		stop()
-		log.Printf("memserve: shutting down, draining in-flight solves (up to %s)", *drain)
+		logger.Info("memserve shutting down, draining in-flight solves", "grace", *drain)
 		shCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
+		if ds != nil {
+			_ = ds.Shutdown(shCtx)
+		}
 		if err := hs.Shutdown(shCtx); err != nil {
-			log.Printf("memserve: shutdown: %v", err)
+			logger.Error("memserve shutdown", "err", err)
 		}
 	}
 }

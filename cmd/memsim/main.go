@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"memsci"
+	"memsci/internal/obs"
 	"memsci/internal/report"
 	"memsci/internal/sparse"
 )
@@ -29,6 +30,7 @@ func main() {
 		solve  = flag.Bool("solve", false, "run a functional bit-exact solve on the simulated crossbars")
 		iters  = flag.Int("iters", 0, "solver iteration count for the model (0 = catalog value or 1000)")
 		tol    = flag.Float64("tol", 1e-8, "relative residual tolerance for -solve")
+		trace  = flag.String("trace", "", "with -solve: write the per-iteration trace (residual, wall-clock, hardware-counter deltas) as JSONL to this file")
 		list   = flag.Bool("list", false, "list the catalog matrices and exit")
 	)
 	flag.Parse()
@@ -150,12 +152,35 @@ func main() {
 	opt.Tol = *tol
 	opt.MaxIter = 20000
 	method := memsci.MethodBiCGSTAB
+	methodName := "bicgstab"
 	if spd {
 		method = memsci.MethodCG
+		methodName = "cg"
+	}
+	var rec *obs.Recorder
+	if *trace != "" {
+		rec = obs.NewRecorder(engine.HWCounters)
+		opt.Monitor = rec.Observe
 	}
 	res, err := memsci.SolveOn(engine, memsci.Ones(m.Rows()), method, spd, opt)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if rec != nil {
+		t := rec.Finish(res.Converged, res.Residual)
+		t.Label, t.Method, t.Backend = label, methodName, "accel"
+		t.Rows, t.NNZ = m.Rows(), m.NNZ()
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := t.WriteJSONL(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  wrote %d iteration samples to %s\n", len(t.Iterations), *trace)
 	}
 	fmt.Printf("  converged=%v iterations=%d residual=%.2e\n", res.Converged, res.Iterations, res.Residual)
 	st := engine.Stats()

@@ -5,6 +5,7 @@ import (
 
 	"memsci/internal/blocking"
 	"memsci/internal/core"
+	"memsci/internal/obs"
 	"memsci/internal/parallel"
 )
 
@@ -209,3 +210,13 @@ func (e *Engine) Stats() core.ComputeStats {
 
 // Clusters returns the number of programmed clusters.
 func (e *Engine) Clusters() int { return len(e.clusters) }
+
+// HWCounters snapshots the cumulative hardware counters without
+// resetting them — the sampler the telemetry recorder differences once
+// per solver iteration. It aggregates over clusters like Stats, so it
+// must not run concurrently with Apply on the same engine; the solver
+// Monitor hook runs inline between Applies, which satisfies that.
+func (e *Engine) HWCounters() obs.HWCounters {
+	s := e.Stats()
+	return s.HWCounters()
+}

@@ -1,0 +1,59 @@
+package accel
+
+import (
+	"testing"
+
+	"memsci/internal/core"
+	"memsci/internal/obs"
+	"memsci/internal/solver"
+	"memsci/internal/sparse"
+)
+
+// The telemetry recorder differences Engine.HWCounters once per solver
+// iteration; the per-iteration deltas must sum exactly to the engine's
+// end-of-solve stats window (TakeStats), or per-iteration hardware
+// attribution is lying about totals.
+func TestRecorderHWDeltasSumToTakeStats(t *testing.T) {
+	m, plan := smallSystem(t, 192)
+	eng, err := NewEngine(plan, core.DefaultClusterConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.TakeStats() // open a fresh window, like the serving layer does
+
+	rec := obs.NewRecorder(eng.HWCounters)
+	opt := solver.Options{Tol: 1e-9, Monitor: rec.Observe}
+	b := sparse.Ones(m.Rows())
+	res, err := solver.CG(eng, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations == 0 {
+		t.Fatalf("solve did not converge: %+v", res)
+	}
+	trace := rec.Finish(res.Converged, res.Residual)
+	if len(trace.Iterations) != res.Iterations {
+		t.Fatalf("%d samples for %d iterations", len(trace.Iterations), res.Iterations)
+	}
+
+	window := eng.TakeStats()
+	want := window.HWCounters()
+	got := trace.HWTotal()
+	if got == nil {
+		t.Fatal("trace carries no hardware deltas")
+	}
+	if *got != want {
+		t.Errorf("per-iteration deltas sum %+v != TakeStats window %+v", *got, want)
+	}
+	if want.Slices == 0 || want.ADCConversions == 0 {
+		t.Errorf("degenerate window %+v", want)
+	}
+	// Every iteration performed hardware work (CG does one Apply per
+	// iteration on this path).
+	for i := range trace.Iterations {
+		hw := trace.Iterations[i].HW
+		if hw == nil || hw.ADCConversions == 0 {
+			t.Fatalf("iteration %d carries no hardware delta: %+v", i+1, hw)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"memsci/internal/ancode"
 	"memsci/internal/device"
+	"memsci/internal/obs"
 	"memsci/internal/xbar"
 )
 
@@ -99,6 +100,22 @@ func (s *ComputeStats) Merge(o *ComputeStats) {
 	s.ConversionBits += o.ConversionBits
 	s.CrossbarActivations += o.CrossbarActivations
 	s.AN.Merge(o.AN)
+}
+
+// HWCounters projects the accumulator onto the telemetry layer's
+// hardware-counter vector: the quantities the paper's per-iteration
+// claims are about (slices applied §IV-B, conversions saved by early
+// termination §III-B, ADC conversions, AN detections/corrections §IV-E).
+// Keeping the projection next to ComputeStats means a counter added to
+// the stats pipeline has one place to become observable.
+func (s *ComputeStats) HWCounters() obs.HWCounters {
+	return obs.HWCounters{
+		Slices:         int64(s.VectorSlicesApplied),
+		EarlyTermSaved: int64(s.ConversionsSkipped),
+		ADCConversions: int64(s.Conversions),
+		ANDetected:     int64(s.AN.Corrected + s.AN.Ambiguous + s.AN.Uncorrectable),
+		ANCorrected:    int64(s.AN.Corrected),
+	}
 }
 
 func (s *ComputeStats) reset(cols int) {

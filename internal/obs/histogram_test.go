@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.001, 2, 4)
+	want := []float64{0.001, 0.002, 0.004, 0.008}
+	if len(b) != len(want) {
+		t.Fatalf("len %d", len(b))
+	}
+	for i := range b {
+		if math.Abs(b[i]-want[i]) > 1e-15 {
+			t.Errorf("bucket %d: %g want %g", i, b[i], want[i])
+		}
+	}
+}
+
+// Observations land in the first bucket whose upper bound is >= the
+// value (Prometheus le semantics), with exact-boundary values included.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram("x", "", []float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.0, 1.5, 2.0, 7.9, 8.0, 9.0, 1e9} {
+		h.Observe(v)
+	}
+	counts := h.BucketCounts()
+	want := []uint64{2, 2, 0, 2, 2} // le=1: {0.5,1}; le=2: {1.5,2}; le=4: {}; le=8: {7.9,8}; +Inf: {9,1e9}
+	if len(counts) != len(want) {
+		t.Fatalf("bucket count %d want %d", len(counts), len(want))
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("bucket %d: %d want %d (all %v)", i, counts[i], want[i], counts)
+		}
+	}
+	if h.Count() != 8 {
+		t.Errorf("count %d", h.Count())
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram("x", "", ExpBuckets(1, 2, 10))
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%1000) + 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count %d want %d", h.Count(), workers*per)
+	}
+	var sum uint64
+	for _, c := range h.BucketCounts() {
+		sum += c
+	}
+	if sum != workers*per {
+		t.Fatalf("bucket sum %d want %d", sum, workers*per)
+	}
+	// Each worker contributes sum(1..1000)*5 = 500500*5.
+	want := float64(workers) * 500500 * per / 1000
+	if math.Abs(h.Sum()-want) > 1e-6*want {
+		t.Fatalf("sum %g want %g", h.Sum(), want)
+	}
+}
+
+// With log-spaced buckets of factor f, the quantile estimate lies inside
+// the bucket containing the true quantile, so estimate/truth is within
+// [1/f, f].
+func TestHistogramQuantileErrorBound(t *testing.T) {
+	const factor = 2.0
+	h := NewHistogram("x", "", ExpBuckets(1, factor, 16))
+	const n = 10000
+	for i := 1; i <= n; i++ {
+		h.Observe(float64(i))
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		truth := q * n
+		got := h.Quantile(q)
+		if ratio := got / truth; ratio > factor || ratio < 1/factor {
+			t.Errorf("q=%g: estimate %g vs truth %g (ratio %g exceeds bucket factor %g)",
+				q, got, truth, ratio, factor)
+		}
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram("x", "", []float64{1, 2})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+	h.Observe(100) // +Inf bucket
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("overflow quantile clamps to top finite bound: got %g", got)
+	}
+}
+
+func TestHistogramPrometheusRendering(t *testing.T) {
+	h := NewHistogram("lat", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	var sb strings.Builder
+	h.write(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE lat histogram",
+		`lat_bucket{le="0.1"} 1`,
+		`lat_bucket{le="1"} 2`,
+		`lat_bucket{le="+Inf"} 3`,
+		"lat_sum 5.55",
+		"lat_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendering missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (must be non-negative for Prometheus semantics; this is
+// not enforced, matching the hand-rolled counters it replaces).
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.Value())
+}
+
+// Gauge is an int64 metric that can go up and down.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Add adds delta (negative to decrement).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.Value())
+}
+
+// funcMetric renders a value computed at scrape time — used to expose
+// counters owned by another subsystem (the engine cache) without copying
+// them into the registry on every update.
+type funcMetric struct {
+	name, help, typ string
+	f               func() int64
+}
+
+func (m *funcMetric) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, m.typ, m.name, m.f())
+}
+
+type metric interface{ write(io.Writer) }
+
+// Registry holds named metrics and renders them in Prometheus text
+// exposition format, in registration order. Registration is typically
+// done once at construction; Observe/Inc/Add on the returned metrics are
+// safe for concurrent use without further locking.
+type Registry struct {
+	mu      sync.Mutex
+	names   map[string]bool
+	metrics []metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]bool{}}
+}
+
+func (r *Registry) register(name string, m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[name] {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	r.names[name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.register(name, c)
+	return c
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.register(name, g)
+	return g
+}
+
+// CounterFunc registers a counter whose value is read from f at scrape
+// time.
+func (r *Registry) CounterFunc(name, help string, f func() int64) {
+	r.register(name, &funcMetric{name: name, help: help, typ: "counter", f: f})
+}
+
+// GaugeFunc registers a gauge whose value is read from f at scrape time.
+func (r *Registry) GaugeFunc(name, help string, f func() int64) {
+	r.register(name, &funcMetric{name: name, help: help, typ: "gauge", f: f})
+}
+
+// Histogram registers and returns a histogram over the given ascending
+// upper bounds (an implicit +Inf bucket is always appended).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(name, help, bounds)
+	r.register(name, h)
+	return h
+}
+
+// WritePrometheus renders every registered metric in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	ms := make([]metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	for _, m := range ms {
+		m.write(w)
+	}
+}

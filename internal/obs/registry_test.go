@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryRendersInRegistrationOrder(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("a_total", "A.")
+	g := reg.Gauge("b_current", "B.")
+	reg.CounterFunc("c_total", "C.", func() int64 { return 7 })
+	h := reg.Histogram("d_seconds", "D.", ExpBuckets(0.001, 2, 8))
+
+	c.Add(3)
+	c.Inc()
+	g.Set(5)
+	g.Add(-2)
+	h.Observe(0.01)
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	text := sb.String()
+
+	for _, want := range []string{
+		"# HELP a_total A.\n# TYPE a_total counter\na_total 4\n",
+		"# TYPE b_current gauge\nb_current 3\n",
+		"# TYPE c_total counter\nc_total 7\n",
+		"# TYPE d_seconds histogram",
+		"d_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+	if strings.Index(text, "a_total") > strings.Index(text, "b_current") ||
+		strings.Index(text, "b_current") > strings.Index(text, "c_total") ||
+		strings.Index(text, "c_total") > strings.Index(text, "d_seconds") {
+		t.Error("metrics not rendered in registration order")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration should panic")
+		}
+	}()
+	reg.Gauge("dup", "")
+}

@@ -1,54 +1,90 @@
 package serve
 
 import (
-	"fmt"
-	"io"
 	"net/http"
-	"sync/atomic"
+
+	"memsci/internal/obs"
 )
 
-// Metrics aggregates serving counters. The /metrics handler renders them
-// together with the cache counters in Prometheus text exposition format,
-// hand-rolled because the module deliberately has no dependencies.
+// Metrics is the serving telemetry: request/failure counters, the
+// in-flight gauge, and log-bucketed latency and convergence histograms,
+// all held in an obs.Registry that renders Prometheus text. The engine
+// cache's counters are registered as scrape-time funcs so they stay
+// owned by the cache. This replaces the earlier hand-rolled sum-only
+// counters — sums cannot answer "what is p99 solve latency", histograms
+// can.
 type Metrics struct {
-	requests atomic.Int64 // completed /solve requests
-	failures atomic.Int64 // /solve requests answered with an error status
-	inFlight atomic.Int64 // solves currently executing
+	reg *obs.Registry
 
-	solves       atomic.Int64
-	solveNanos   atomic.Int64 // summed solve wall-clock
-	programNanos atomic.Int64 // summed cache-acquire wall-clock (accel)
+	requests *obs.Counter
+	failures *obs.Counter
+	inFlight *obs.Gauge
+	solves   *obs.Counter
+
+	// solveSeconds / programSeconds are wall-clock histograms; their
+	// _sum series carry what the old *_seconds_total counters did.
+	solveSeconds   *obs.Histogram
+	programSeconds *obs.Histogram
+	// iterations histograms iterations-per-solve; residualReduction
+	// histograms the per-iteration residual contraction factor
+	// r_k/r_{k-1} (the convergence-rate distribution, §IV).
+	iterations        *obs.Histogram
+	residualReduction *obs.Histogram
+}
+
+func newMetrics(cache *Cache) *Metrics {
+	reg := obs.NewRegistry()
+	m := &Metrics{
+		reg:      reg,
+		requests: reg.Counter("memserve_requests_total", "Completed /solve requests."),
+		failures: reg.Counter("memserve_request_failures_total", "Requests answered with an error status."),
+		inFlight: reg.Gauge("memserve_inflight_solves", "Solves currently executing."),
+		solves:   reg.Counter("memserve_solves_total", "Solver invocations."),
+		solveSeconds: reg.Histogram("memserve_solve_seconds",
+			"Solve wall-clock time.", obs.ExpBuckets(1e-4, 2, 16)), // 0.1ms .. ~3.3s
+		programSeconds: reg.Histogram("memserve_program_seconds",
+			"Engine-acquisition wall-clock time (programming on misses).", obs.ExpBuckets(1e-4, 2, 16)),
+		iterations: reg.Histogram("memserve_solve_iterations",
+			"Solver iterations per solve.", obs.ExpBuckets(1, 2, 14)), // 1 .. 8192
+		residualReduction: reg.Histogram("memserve_residual_reduction",
+			"Per-iteration residual contraction factor r_k/r_k-1.", obs.ExpBuckets(1.0/1024, 2, 12)), // ~0.001 .. 2
+	}
+
+	counter := func(name, help string, f func(CacheStats) int64) {
+		reg.CounterFunc(name, help, func() int64 { return f(cache.Stats()) })
+	}
+	counter("memserve_cache_hits_total", "Engine-cache acquisitions served from a resident entry.",
+		func(cs CacheStats) int64 { return cs.Hits })
+	counter("memserve_cache_misses_total", "Engine-cache acquisitions that initiated programming.",
+		func(cs CacheStats) int64 { return cs.Misses })
+	counter("memserve_cache_coalesced_total", "Acquisitions deduplicated onto another request's programming.",
+		func(cs CacheStats) int64 { return cs.Coalesced })
+	counter("memserve_cache_evictions_total", "Entries evicted by the LRU cluster bound.",
+		func(cs CacheStats) int64 { return cs.Evictions })
+	counter("memserve_cache_programmings_total", "Engines programmed from scratch.",
+		func(cs CacheStats) int64 { return cs.Programmings })
+	counter("memserve_cache_forks_total", "Pool engines materialized by forking programmed state.",
+		func(cs CacheStats) int64 { return cs.Forks })
+	reg.GaugeFunc("memserve_cache_entries", "Resident cache entries.",
+		func() int64 { return int64(cache.Stats().Entries) })
+	reg.GaugeFunc("memserve_cache_clusters", "Programmed clusters held by resident entries.",
+		func() int64 { return int64(cache.Stats().Clusters) })
+	return m
+}
+
+// observeTrace folds one finished solve into the convergence histograms.
+func (m *Metrics) observeTrace(t *obs.SolveTrace) {
+	prev := 1.0 // residuals are relative to ‖b‖, so the trajectory starts at 1
+	for i := range t.Iterations {
+		rn := t.Iterations[i].Residual
+		if prev > 0 {
+			m.residualReduction.Observe(rn / prev)
+		}
+		prev = rn
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	writeMetrics(w, &s.metrics, s.cache.Stats())
-}
-
-func writeMetrics(w io.Writer, m *Metrics, cs CacheStats) {
-	counter := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	gauge := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
-	}
-	seconds := func(name, help string, nanos int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, float64(nanos)/1e9)
-	}
-
-	counter("memserve_requests_total", "Completed /solve requests.", m.requests.Load())
-	counter("memserve_request_failures_total", "Requests answered with an error status.", m.failures.Load())
-	gauge("memserve_inflight_solves", "Solves currently executing.", m.inFlight.Load())
-	counter("memserve_solves_total", "Solver invocations.", m.solves.Load())
-	seconds("memserve_solve_seconds_total", "Summed solve wall-clock time.", m.solveNanos.Load())
-	seconds("memserve_program_seconds_total", "Summed engine-acquisition wall-clock time (programming on misses).", m.programNanos.Load())
-
-	counter("memserve_cache_hits_total", "Engine-cache acquisitions served from a resident entry.", cs.Hits)
-	counter("memserve_cache_misses_total", "Engine-cache acquisitions that initiated programming.", cs.Misses)
-	counter("memserve_cache_coalesced_total", "Acquisitions deduplicated onto another request's programming.", cs.Coalesced)
-	counter("memserve_cache_evictions_total", "Entries evicted by the LRU cluster bound.", cs.Evictions)
-	counter("memserve_cache_programmings_total", "Engines programmed from scratch.", cs.Programmings)
-	counter("memserve_cache_forks_total", "Pool engines materialized by forking programmed state.", cs.Forks)
-	gauge("memserve_cache_entries", "Resident cache entries.", int64(cs.Entries))
-	gauge("memserve_cache_clusters", "Programmed clusters held by resident entries.", int64(cs.Clusters))
+	s.metrics.reg.WritePrometheus(w)
 }

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"memsci/internal/obs"
+)
+
+// A panic recovered mid-solve must count a failure AND release the
+// in-flight gauge — a leaked gauge reads as permanent saturation.
+func TestSolvePanicAccounting(t *testing.T) {
+	s := New(Config{})
+	s.solveHook = func() { panic("synthetic crossbar fault") }
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, raw := postSolve(t, ts, SolveRequest{Matrix: mmText(t, poisson1D(8))})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d want 500: %s", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "synthetic crossbar fault") {
+		t.Errorf("panic not surfaced in body: %s", raw)
+	}
+	if got := s.metrics.failures.Value(); got != 1 {
+		t.Errorf("failures %d want 1", got)
+	}
+	if got := s.metrics.inFlight.Value(); got != 0 {
+		t.Errorf("in-flight gauge leaked: %d want 0", got)
+	}
+	if got := s.metrics.requests.Value(); got != 1 {
+		t.Errorf("requests %d want 1", got)
+	}
+}
+
+// "trace": true returns the per-iteration record, and its hardware
+// deltas sum exactly to the response's end-of-solve Hardware window.
+func TestSolveTraceResponse(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+
+	req := SolveRequest{Matrix: mmText(t, poisson1D(40)), Method: "cg", Trace: true}
+	resp, raw := postSolve(t, ts, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	sr := decodeSolve(t, raw)
+	if sr.Trace == nil {
+		t.Fatalf("no trace in response: %s", raw)
+	}
+	if len(sr.Trace.Iterations) != sr.Iterations {
+		t.Fatalf("trace has %d samples for %d iterations", len(sr.Trace.Iterations), sr.Iterations)
+	}
+	if sr.RequestID == "" || sr.Trace.ID != sr.RequestID {
+		t.Errorf("request id %q, trace id %q", sr.RequestID, sr.Trace.ID)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != sr.RequestID {
+		t.Errorf("X-Request-Id header %q vs body %q", got, sr.RequestID)
+	}
+	if sr.Hardware == nil {
+		t.Fatal("accel response missing hardware window")
+	}
+	total := sr.Trace.HWTotal()
+	if total == nil {
+		t.Fatal("trace missing hardware deltas")
+	}
+	want := sr.Hardware.HWCounters()
+	if *total != want {
+		t.Errorf("trace hw sum %+v != hardware window %+v", *total, want)
+	}
+	// Residuals decrease to the final value; nanos are recorded.
+	iters := sr.Trace.Iterations
+	if iters[len(iters)-1].Residual != sr.Residual {
+		t.Errorf("final trace residual %g != response residual %g",
+			iters[len(iters)-1].Residual, sr.Residual)
+	}
+	for i := range iters {
+		if iters[i].Nanos < 0 {
+			t.Errorf("iteration %d negative nanos", i)
+		}
+	}
+
+	// Without "trace": true the response stays lean.
+	_, raw = postSolve(t, ts, SolveRequest{Matrix: mmText(t, poisson1D(40)), Method: "cg"})
+	if bytes.Contains(raw, []byte(`"trace"`)) {
+		t.Error("untraced response contains a trace")
+	}
+}
+
+// Every solve (traced or not, csr or accel) lands in the /debug/traces
+// ring, newest first, and the debug handler serves pprof.
+func TestDebugTracesAndPprof(t *testing.T) {
+	s := New(Config{TraceRingSize: 8})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	if _, raw := postSolve(t, ts, SolveRequest{Matrix: mmText(t, poisson1D(16)), Backend: "csr"}); len(raw) == 0 {
+		t.Fatal("csr solve failed")
+	}
+	if _, raw := postSolve(t, ts, SolveRequest{Matrix: mmText(t, poisson1D(24))}); len(raw) == 0 {
+		t.Fatal("accel solve failed")
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var traces []*obs.SolveTrace
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("%d traces want 2", len(traces))
+	}
+	if traces[0].Rows != 24 || traces[1].Rows != 16 {
+		t.Errorf("ring order wrong: rows %d, %d", traces[0].Rows, traces[1].Rows)
+	}
+	if traces[0].Backend != "accel" || traces[0].HWTotal() == nil {
+		t.Errorf("accel trace lacks hardware: %+v", traces[0])
+	}
+	if traces[1].Backend != "csr" || traces[1].HWTotal() != nil {
+		t.Errorf("csr trace should have no hardware: %+v", traces[1])
+	}
+
+	dbg := httptest.NewServer(s.DebugHandler())
+	defer dbg.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/traces", "/metrics"} {
+		resp, err := dbg.Client().Get(dbg.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("debug %s status %d", path, resp.StatusCode)
+		}
+	}
+}

@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
 
 	"memsci/internal/core"
+	"memsci/internal/obs"
 	"memsci/internal/solver"
 	"memsci/internal/sparse"
 )
@@ -36,6 +38,12 @@ type Config struct {
 	Seed int64
 	// Cache sizes the engine cache.
 	Cache CacheConfig
+	// Logger receives structured request and solve logs (nil = discard;
+	// cmd/memserve passes a text handler on stderr).
+	Logger *slog.Logger
+	// TraceRingSize bounds the ring of recent solve traces served by
+	// /debug/traces (0 = 64).
+	TraceRingSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -57,35 +65,53 @@ func (c Config) withDefaults() Config {
 	if c.Cluster.Device.BitsPerCell == 0 {
 		c.Cluster = core.DefaultClusterConfig()
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	if c.TraceRingSize <= 0 {
+		c.TraceRingSize = 64
+	}
 	return c
 }
 
 // Server is the HTTP solver service. It implements http.Handler with
-// three routes: POST /solve, GET /healthz, and GET /metrics.
+// four routes: POST /solve, GET /healthz, GET /metrics, and
+// GET /debug/traces; DebugHandler additionally serves pprof for an
+// opt-in debug listener. Every request gets an X-Request-Id and a
+// structured access-log line (see logging.go).
 type Server struct {
 	cfg     Config
 	cache   *Cache
-	metrics Metrics
+	metrics *Metrics
+	traces  *obs.TraceRing
+	logger  *slog.Logger
 	mux     *http.ServeMux
+
+	// solveHook, when non-nil, runs at the top of handleSolve — a test
+	// seam for exercising the panic-recovery accounting.
+	solveHook func()
 }
 
 // New builds a Server from the configuration.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	s := &Server{cfg: cfg}
+	s := &Server{cfg: cfg, logger: cfg.Logger}
 	s.cache = NewCache(cfg.Cache, cfg.Cluster, cfg.Seed)
+	s.metrics = newMetrics(s.cache)
+	s.traces = obs.NewTraceRing(cfg.TraceRingSize)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /solve", s.handleSolve)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	return s
 }
 
 // Cache exposes the engine cache (tests and metrics).
 func (s *Server) Cache() *Cache { return s.cache }
 
-// ServeHTTP dispatches to the route handlers.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// Traces exposes the ring of recent solve traces.
+func (s *Server) Traces() *obs.TraceRing { return s.traces }
 
 // SolveRequest is the POST /solve body.
 type SolveRequest struct {
@@ -111,6 +137,10 @@ type SolveRequest struct {
 	// TimeoutMS overrides the server's default solve deadline, capped
 	// at the server's maximum.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Trace includes the per-iteration solve trace in the response:
+	// residual, wall-clock, and (accel backend) the hardware-counter
+	// delta for every iteration.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // CacheInfo reports how the engine cache served a request.
@@ -145,6 +175,12 @@ type SolveResponse struct {
 	Cache    *CacheInfo         `json:"cache,omitempty"`
 	Hardware *core.ComputeStats `json:"hardware,omitempty"`
 	Timings  Timings            `json:"timings_ms"`
+	// RequestID echoes the X-Request-Id header, joining the response to
+	// the access log and the /debug/traces ring.
+	RequestID string `json:"request_id,omitempty"`
+	// Trace is the per-iteration record, present when the request set
+	// "trace": true.
+	Trace *obs.SolveTrace `json:"trace,omitempty"`
 }
 
 type errorResponse struct {
@@ -157,17 +193,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	reqID := RequestID(r.Context())
 	s.metrics.inFlight.Add(1)
-	defer s.metrics.inFlight.Add(-1)
-	defer s.metrics.requests.Add(1)
-	// A diverging solve can hand the engine non-finite vectors, which
-	// the crossbar pipeline rejects by panicking; report it as a server
-	// error instead of tearing the connection down.
+	// One deferred closure with explicit ordering: a panic anywhere in
+	// the handler — a diverging solve can hand the engine non-finite
+	// vectors, which the crossbar pipeline rejects by panicking — must
+	// count a failure AND release the in-flight gauge, or the gauge
+	// drifts upward forever and masks real saturation.
 	defer func() {
 		if p := recover(); p != nil {
+			s.logger.Error("solve panic", "id", reqID, "panic", fmt.Sprint(p))
 			s.fail(w, http.StatusInternalServerError, fmt.Sprintf("internal: %v", p))
 		}
+		s.metrics.requests.Inc()
+		s.metrics.inFlight.Add(-1)
 	}()
+	if s.solveHook != nil {
+		s.solveHook()
+	}
 
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req SolveRequest
@@ -275,14 +318,38 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		lease.Engine.TakeStats() // discard any stale window
 		op = lease.Engine
 		cacheInfo = &CacheInfo{Hit: lease.Hit, Key: lease.Key}
-		s.metrics.programNanos.Add(time.Since(progStart).Nanoseconds())
+		s.metrics.programSeconds.Observe(time.Since(progStart).Seconds())
 	}
 	programMS := msSince(progStart)
 
+	// Every solve is recorded: the recorder baselines the engine's
+	// hardware counters (just reset above) and snapshots a delta per
+	// iteration through the solver Monitor hook, so the per-iteration
+	// deltas sum exactly to the engine's end-of-solve stats window.
+	var sampler func() obs.HWCounters
+	if lease != nil {
+		sampler = lease.Engine.HWCounters
+	}
+	rec := obs.NewRecorder(sampler)
+	opt.Monitor = rec.Observe
+
 	solveStart := time.Now()
 	res, err := runMethod(method, op, m, b, opt)
-	s.metrics.solveNanos.Add(time.Since(solveStart).Nanoseconds())
-	s.metrics.solves.Add(1)
+	s.metrics.solveSeconds.Observe(time.Since(solveStart).Seconds())
+	s.metrics.solves.Inc()
+
+	var trace *obs.SolveTrace
+	if res != nil {
+		trace = rec.Finish(res.Converged, res.Residual)
+		trace.ID = reqID
+		trace.Method = method
+		trace.Backend = backend
+		trace.Rows = m.Rows()
+		trace.NNZ = m.NNZ()
+		s.traces.Add(trace)
+		s.metrics.iterations.Observe(float64(res.Iterations))
+		s.metrics.observeTrace(trace)
+	}
 	if err != nil {
 		s.failCtx(w, err, http.StatusBadRequest)
 		return
@@ -292,8 +359,20 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		st := lease.Engine.TakeStats()
 		hw = &st
 	}
+	s.logger.Info("solve",
+		"id", reqID,
+		"method", method,
+		"backend", backend,
+		"rows", m.Rows(),
+		"nnz", m.NNZ(),
+		"iterations", res.Iterations,
+		"converged", res.Converged,
+		"residual", res.Residual,
+		"cache_hit", cacheInfo != nil && cacheInfo.Hit,
+		"solve_ms", msSince(solveStart),
+	)
 
-	writeJSON(w, http.StatusOK, &SolveResponse{
+	resp := &SolveResponse{
 		X:          res.X,
 		Iterations: res.Iterations,
 		Converged:  res.Converged,
@@ -305,13 +384,18 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		NNZ:        m.NNZ(),
 		Cache:      cacheInfo,
 		Hardware:   hw,
+		RequestID:  reqID,
 		Timings: Timings{
 			Parse:   parseMS,
 			Program: programMS,
 			Solve:   msSince(solveStart),
 			Total:   msSince(start),
 		},
-	})
+	}
+	if req.Trace {
+		resp.Trace = trace
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // runMethod dispatches one named method. BiCG takes the CSR matrix for

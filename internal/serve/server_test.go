@@ -243,7 +243,11 @@ func TestServerHealthzAndMetrics(t *testing.T) {
 		"memserve_cache_misses_total 1",
 		"memserve_cache_programmings_total 1",
 		"memserve_inflight_solves 0",
-		"memserve_solve_seconds_total",
+		"# TYPE memserve_solve_seconds histogram",
+		`memserve_solve_seconds_bucket{le="+Inf"} 1`,
+		"memserve_solve_seconds_count 1",
+		"memserve_solve_iterations_count 1",
+		"# TYPE memserve_residual_reduction histogram",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q:\n%s", want, text)

@@ -1,0 +1,130 @@
+package solver
+
+import (
+	"testing"
+
+	"memsci/internal/sparse"
+)
+
+// The Monitor hook must fire exactly once per counted iteration and see
+// the same residual trajectory RecordResiduals stores.
+func TestMonitorCGCalledOncePerIteration(t *testing.T) {
+	m := poisson1D(200)
+	b := sparse.Ones(m.Rows())
+	var ks []int
+	var rs []float64
+	opt := Options{
+		Tol:             1e-10,
+		RecordResiduals: true,
+		Monitor: func(k int, rn float64) {
+			ks = append(ks, k)
+			rs = append(rs, rn)
+		},
+	}
+	res, err := CG(CSROperator{M: m}, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("CG did not converge")
+	}
+	if len(ks) != res.Iterations {
+		t.Fatalf("monitor fired %d times for %d iterations", len(ks), res.Iterations)
+	}
+	for i, k := range ks {
+		if k != i+1 {
+			t.Fatalf("monitor call %d reported iteration %d", i, k)
+		}
+	}
+	if len(rs) != len(res.Residuals) {
+		t.Fatalf("monitor saw %d residuals, history has %d", len(rs), len(res.Residuals))
+	}
+	for i := range rs {
+		if rs[i] != res.Residuals[i] {
+			t.Fatalf("iteration %d: monitor residual %g != recorded %g", i+1, rs[i], res.Residuals[i])
+		}
+	}
+	// On a well-conditioned SPD system the CG residual trajectory is
+	// monotone decreasing — the convergence-trajectory property the
+	// telemetry layer exists to expose.
+	for i := 1; i < len(rs); i++ {
+		if rs[i] >= rs[i-1] {
+			t.Fatalf("residual not monotone at iteration %d: %g -> %g", i+1, rs[i-1], rs[i])
+		}
+	}
+}
+
+// Every method keeps the monitor-count == Iterations invariant,
+// including early-convergence exits.
+func TestMonitorCountMatchesIterationsAllMethods(t *testing.T) {
+	spd := poisson1D(80)
+	ns := nonsym(80, 5)
+	bs := sparse.Ones(80)
+
+	cases := []struct {
+		name  string
+		solve func(opt Options) (*Result, error)
+	}{
+		{"cg", func(opt Options) (*Result, error) { return CG(CSROperator{M: spd}, bs, opt) }},
+		{"bicgstab", func(opt Options) (*Result, error) { return BiCGSTAB(CSROperator{M: ns}, bs, opt) }},
+		{"bicg", func(opt Options) (*Result, error) { return BiCG(CSROperator{M: ns}, bs, opt) }},
+		{"gmres", func(opt Options) (*Result, error) { return GMRES(CSROperator{M: ns}, bs, opt) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			calls := 0
+			opt := Options{Tol: 1e-8, Monitor: func(int, float64) { calls++ }}
+			res, err := tc.solve(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if calls != res.Iterations {
+				t.Fatalf("monitor fired %d times for %d iterations (converged=%v breakdown=%v)",
+					calls, res.Iterations, res.Converged, res.Breakdown)
+			}
+		})
+	}
+}
+
+// A MaxIter-capped solve also keeps the invariant (no convergence exit).
+func TestMonitorCountUnderMaxIterCap(t *testing.T) {
+	m := poisson1D(400)
+	b := sparse.Ones(m.Rows())
+	calls := 0
+	opt := Options{Tol: 1e-300, MaxIter: 17, Monitor: func(int, float64) { calls++ }}
+	res, err := CG(CSROperator{M: m}, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 17 || calls != 17 {
+		t.Fatalf("iterations %d, monitor calls %d, want 17/17", res.Iterations, calls)
+	}
+}
+
+// The nil-Monitor fast path must stay cheap: this benchmark pins the
+// per-iteration cost of the hook check (compare against
+// BenchmarkCGMonitorAttached and the engine-scale solve benchmarks in
+// the repo root).
+func BenchmarkCGMonitorNil(b *testing.B) {
+	m := poisson1D(2000)
+	rhs := sparse.Ones(m.Rows())
+	opt := Options{Tol: 1e-10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CG(CSROperator{M: m}, rhs, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCGMonitorAttached(b *testing.B) {
+	m := poisson1D(2000)
+	rhs := sparse.Ones(m.Rows())
+	opt := Options{Tol: 1e-10, Monitor: func(int, float64) {}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CG(CSROperator{M: m}, rhs, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -67,7 +67,18 @@ type Options struct {
 	// context is done. Nil preserves the historical run-to-completion
 	// behavior.
 	Ctx context.Context
+	// Monitor, when non-nil, is invoked inline exactly once per counted
+	// iteration — every time Result.Iterations advances — with the
+	// 1-based iteration number and the best-known relative residual at
+	// that point. It is the telemetry seam: the obs package's Recorder
+	// snapshots wall-clock and hardware-counter deltas from it. A nil
+	// Monitor costs one predictable branch per iteration.
+	Monitor Monitor
 }
+
+// Monitor observes one solver iteration. It runs on the solving
+// goroutine; a slow monitor slows the solve.
+type Monitor func(iteration int, residual float64)
 
 // DefaultOptions returns ε = 1e-8 with an iteration cap of 10·n.
 func DefaultOptions() Options { return Options{Tol: 1e-8} }
@@ -112,6 +123,16 @@ func checkCtx(opt Options, iters int) error {
 		return fmt.Errorf("solver: stopped after %d iterations: %w", iters, opt.Ctx.Err())
 	default:
 		return nil
+	}
+}
+
+// fire invokes the optional per-iteration monitor. Each solver calls it
+// exactly once per Result.Iterations increment, so a monitor sees every
+// counted iteration — including the one a breakdown or early convergence
+// exit ends on.
+func (opt *Options) fire(k int, rn float64) {
+	if opt.Monitor != nil {
+		opt.Monitor(k, rn)
 	}
 }
 
@@ -191,6 +212,7 @@ func CG(a Operator, b []float64, opt Options) (*Result, error) {
 		if opt.RecordResiduals {
 			res.Residuals = append(res.Residuals, rn)
 		}
+		opt.fire(res.Iterations, rn)
 		if rn <= opt.Tol {
 			res.Converged = true
 			break
@@ -280,24 +302,28 @@ func BiCGSTAB(a Operator, b []float64, opt Options) (*Result, error) {
 			s[i] = r[i] - alpha*v[i]
 		}
 		res.Iterations = k + 1
-		if sn := sparse.Norm2(s) / normB; sn <= opt.Tol {
+		sn := sparse.Norm2(s) / normB
+		if sn <= opt.Tol {
 			sparse.Axpy(alpha, p, res.X)
 			res.Residual = sn
 			res.Converged = true
 			if opt.RecordResiduals {
 				res.Residuals = append(res.Residuals, sn)
 			}
+			opt.fire(res.Iterations, sn)
 			break
 		}
 		a.Apply(t, s)
 		tt := sparse.Dot(t, t)
 		if tt == 0 {
 			res.Breakdown = true
+			opt.fire(res.Iterations, sn)
 			break
 		}
 		omega = sparse.Dot(t, s) / tt
 		if omega == 0 {
 			res.Breakdown = true
+			opt.fire(res.Iterations, sn)
 			break
 		}
 		for i := range res.X {
@@ -311,6 +337,7 @@ func BiCGSTAB(a Operator, b []float64, opt Options) (*Result, error) {
 		if opt.RecordResiduals {
 			res.Residuals = append(res.Residuals, rn)
 		}
+		opt.fire(res.Iterations, rn)
 		if rn <= opt.Tol {
 			res.Converged = true
 			break
@@ -371,6 +398,7 @@ func BiCG(a TransposeOperator, b []float64, opt Options) (*Result, error) {
 		if opt.RecordResiduals {
 			res.Residuals = append(res.Residuals, rn)
 		}
+		opt.fire(res.Iterations, rn)
 		if rn <= opt.Tol {
 			res.Converged = true
 			break
@@ -493,6 +521,7 @@ func GMRES(a Operator, b []float64, opt Options) (*Result, error) {
 			if opt.RecordResiduals {
 				res.Residuals = append(res.Residuals, rn)
 			}
+			opt.fire(res.Iterations, rn)
 			if rn <= opt.Tol {
 				k++
 				break
