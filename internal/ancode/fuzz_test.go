@@ -1,0 +1,111 @@
+package ancode
+
+import (
+	"math/big"
+	"testing"
+)
+
+// FuzzDecode hardens Decode and Residue against arbitrary codewords:
+// never a panic, residues stay in [0, A), and an error-free decode must
+// re-encode to the original codeword.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{0}, false)
+	f.Add([]byte{251}, false)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, true)
+	f.Add(big.NewInt(251*12345).Bytes(), false)
+	f.Fuzz(func(t *testing.T, data []byte, neg bool) {
+		v := new(big.Int).SetBytes(data)
+		if neg {
+			v.Neg(v)
+		}
+		r := Residue(v)
+		if r < 0 || r >= A {
+			t.Fatalf("Residue(%v) = %d, outside [0, %d)", v, r, A)
+		}
+		q, err := Decode(v)
+		if err != nil {
+			if r == 0 {
+				t.Fatalf("Decode(%v) errored on zero residue: %v", v, err)
+			}
+			return
+		}
+		if r != 0 {
+			t.Fatalf("Decode(%v) accepted nonzero residue %d", v, r)
+		}
+		// Round trip: q·A must reconstruct v (Encode only takes
+		// non-negative operands, so multiply directly).
+		if back := new(big.Int).Mul(q, bigA); back.Cmp(v) != 0 {
+			t.Fatalf("Decode(%v) = %v does not re-encode (got %v)", v, q, back)
+		}
+	})
+}
+
+// FuzzCorrect checks the corrector's contract on single injected
+// arithmetic errors ±c·2^k: with the error inside the corrector's
+// search space and the true operand inside [min, max], the outcome is
+// never Uncorrectable (the true candidate always survives filtering),
+// a zero injection decodes as OK, and a unique correction must recover
+// the exact operand. Arbitrary corrupt codewords must never panic.
+func FuzzCorrect(f *testing.F) {
+	const maxBits = 64
+	const maxCount = 2
+	c := NewCorrector(maxBits, maxCount)
+	max := new(big.Int).Lsh(big.NewInt(1), maxBits) // operands in [0, 2^maxBits]
+	min := big.NewInt(0)
+
+	f.Add([]byte{7}, uint(3), uint(1), false)
+	f.Add([]byte{255, 255}, uint(63), uint(2), true)
+	f.Add([]byte{0}, uint(0), uint(0), false)
+	f.Fuzz(func(t *testing.T, data []byte, kRaw, countRaw uint, negErr bool) {
+		u := new(big.Int).SetBytes(data)
+		u.Mod(u, max) // keep the operand inside the declared range
+		v := Encode(u)
+
+		k := int(kRaw % maxBits)
+		count := int(countRaw % (maxCount + 1)) // 0 means no injected error
+		e := new(big.Int).Lsh(big.NewInt(int64(count)), uint(k))
+		if negErr {
+			e.Neg(e)
+		}
+		corrupt := new(big.Int).Add(v, e)
+
+		got, outcome := c.Correct(corrupt, min, max)
+		if got == nil {
+			t.Fatalf("Correct returned nil value (outcome %v)", outcome)
+		}
+		switch {
+		case count == 0:
+			if outcome != OK || got.Cmp(u) != 0 {
+				t.Fatalf("clean codeword: outcome %v, got %v, want OK %v", outcome, got, u)
+			}
+		case outcome == OK:
+			t.Fatalf("corrupted codeword (e=%v) classified OK", e)
+		case outcome == Uncorrectable:
+			// The injected error is a table candidate and the true
+			// operand is in range, so at least one match must survive.
+			t.Fatalf("in-space error e=%v on u=%v reported uncorrectable", e, u)
+		case outcome == Corrected:
+			if got.Cmp(u) != 0 {
+				t.Fatalf("unique correction returned %v, want %v (e=%v)", got, u, e)
+			}
+		case outcome == Ambiguous:
+			if got.Cmp(min) < 0 || got.Cmp(max) > 0 {
+				t.Fatalf("ambiguous correction %v outside [%v, %v]", got, min, max)
+			}
+		}
+
+		// Arbitrary corruption (not of ±c·2^k form) must not panic.
+		// Corrected/Ambiguous values are range-filtered by contract; OK
+		// (zero residue) and Uncorrectable decode whatever is there, so
+		// only the filtered outcomes carry a range guarantee.
+		junk := new(big.Int).SetBytes(data)
+		gotJ, outJ := c.Correct(junk, min, max)
+		if gotJ == nil {
+			t.Fatalf("Correct(junk) returned nil (outcome %v)", outJ)
+		}
+		if (outJ == Corrected || outJ == Ambiguous) &&
+			(gotJ.Cmp(min) < 0 || gotJ.Cmp(max) > 0) {
+			t.Fatalf("Correct(junk) outcome %v with out-of-range value %v", outJ, gotJ)
+		}
+	})
+}

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"math"
+	"sort"
+)
+
+// Median returns the sample median (linear interpolation for even n).
+func Median(v []float64) float64 { return Quantile(v, 0.5) }
+
+// IQR returns the interquartile range Q3 − Q1.
+func IQR(v []float64) float64 { return Quantile(v, 0.75) - Quantile(v, 0.25) }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of v using the common
+// linear-interpolation definition (R type 7). It copies and sorts; the
+// input is left untouched. An empty input returns NaN.
+func Quantile(v []float64, q float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	s := sortedCopy(v)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo < 0 {
+		lo, hi = 0, 0
+	}
+	if hi >= len(s) {
+		lo, hi = len(s)-1, len(s)-1
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// MannWhitney runs the two-sided Mann–Whitney U test (the rank test
+// benchstat uses) on two samples and returns the p-value for the null
+// hypothesis that both were drawn from the same distribution. Small
+// tie-free samples get the exact U distribution; larger or tied samples
+// use the normal approximation with tie correction and continuity
+// correction. Degenerate inputs (either sample empty) return p = 1.
+func MannWhitney(x, y []float64) float64 {
+	n1, n2 := len(x), len(y)
+	if n1 == 0 || n2 == 0 {
+		return 1
+	}
+	// Rank the pooled samples, averaging ranks across ties.
+	type obs struct {
+		v     float64
+		group int // 0 = x, 1 = y
+	}
+	pooled := make([]obs, 0, n1+n2)
+	for _, v := range x {
+		pooled = append(pooled, obs{v, 0})
+	}
+	for _, v := range y {
+		pooled = append(pooled, obs{v, 1})
+	}
+	sort.Slice(pooled, func(i, j int) bool { return pooled[i].v < pooled[j].v })
+
+	n := n1 + n2
+	ranks := make([]float64, n)
+	hasTies := false
+	tieCorr := 0.0 // Σ (t³ − t) over tie groups
+	for i := 0; i < n; {
+		j := i
+		for j < n && pooled[j].v == pooled[i].v {
+			j++
+		}
+		r := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = r
+		}
+		if t := j - i; t > 1 {
+			hasTies = true
+			tieCorr += float64(t*t*t - t)
+		}
+		i = j
+	}
+	var r1 float64
+	for i, o := range pooled {
+		if o.group == 0 {
+			r1 += ranks[i]
+		}
+	}
+	u1 := r1 - float64(n1*(n1+1))/2
+	u2 := float64(n1*n2) - u1
+	uMin := math.Min(u1, u2)
+
+	if !hasTies && n1 <= 12 && n2 <= 12 {
+		return exactMWP(n1, n2, uMin)
+	}
+	// Normal approximation.
+	mu := float64(n1*n2) / 2
+	nf := float64(n)
+	variance := float64(n1*n2) / 12 * ((nf + 1) - tieCorr/(nf*(nf-1)))
+	if variance <= 0 {
+		return 1 // all observations identical
+	}
+	z := (math.Abs(uMin-mu) - 0.5) / math.Sqrt(variance)
+	if z < 0 {
+		z = 0
+	}
+	return math.Min(1, 2*(1-stdNormalCDF(z)))
+}
+
+// exactMWP computes the exact two-sided p-value P(U ≤ u)·2 for the
+// tie-free null distribution of the Mann–Whitney U statistic via the
+// standard counting recurrence c(n,m,u) = c(n−1,m,u−m) + c(n,m−1,u).
+func exactMWP(n1, n2 int, u float64) float64 {
+	uInt := int(math.Floor(u))
+	// counts[n][m][u] built iteratively; dimensions are tiny (≤ 12).
+	max := n1 * n2
+	counts := make([][][]float64, n1+1)
+	for i := range counts {
+		counts[i] = make([][]float64, n2+1)
+		for j := range counts[i] {
+			counts[i][j] = make([]float64, max+1)
+		}
+	}
+	for j := 0; j <= n2; j++ {
+		counts[0][j][0] = 1
+	}
+	for i := 1; i <= n1; i++ {
+		counts[i][0][0] = 1
+		for j := 1; j <= n2; j++ {
+			for k := 0; k <= i*j; k++ {
+				v := counts[i][j-1][k]
+				if k >= j {
+					v += counts[i-1][j][k-j]
+				}
+				counts[i][j][k] = v
+			}
+		}
+	}
+	totalArrangements := binomial(n1+n2, n1)
+	var cum float64
+	for k := 0; k <= uInt && k <= max; k++ {
+		cum += counts[n1][n2][k]
+	}
+	return math.Min(1, 2*cum/totalArrangements)
+}
+
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1.0
+	for i := 1; i <= k; i++ {
+		r = r * float64(n-k+i) / float64(i)
+	}
+	return r
+}
+
+// stdNormalCDF is Φ(z) for the standard normal distribution.
+func stdNormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileMedianIQR(t *testing.T) {
+	v := []float64{9, 1, 5, 3, 7} // sorted: 1 3 5 7 9
+	if got := Median(v); got != 5 {
+		t.Fatalf("median = %v, want 5", got)
+	}
+	if got := Quantile(v, 0); got != 1 {
+		t.Fatalf("q0 = %v, want 1", got)
+	}
+	if got := Quantile(v, 1); got != 9 {
+		t.Fatalf("q1 = %v, want 9", got)
+	}
+	// R type-7 quartiles of 1 3 5 7 9: Q1 = 3, Q3 = 7.
+	if got := IQR(v); got != 4 {
+		t.Fatalf("iqr = %v, want 4", got)
+	}
+	even := []float64{4, 2} // median interpolates
+	if got := Median(even); got != 3 {
+		t.Fatalf("even median = %v, want 3", got)
+	}
+	if got := Median(nil); !math.IsNaN(got) {
+		t.Fatalf("empty median = %v, want NaN", got)
+	}
+	// Input must not be reordered.
+	if v[0] != 9 || v[4] != 7 {
+		t.Fatalf("Quantile mutated its input: %v", v)
+	}
+}
+
+func TestMannWhitneySeparatedSamples(t *testing.T) {
+	slow := []float64{300, 301, 302, 299, 303, 298, 304}
+	fast := []float64{100, 101, 102, 99, 103, 98, 104}
+	p := MannWhitney(fast, slow)
+	if p >= 0.01 {
+		t.Fatalf("disjoint samples: p = %v, want < 0.01", p)
+	}
+	// min two-sided p for n=m=7 is 2/C(14,7) = 2/3432.
+	if want := 2.0 / 3432; math.Abs(p-want) > 1e-12 {
+		t.Fatalf("exact p = %v, want %v", p, want)
+	}
+}
+
+func TestMannWhitneySymmetric(t *testing.T) {
+	a := []float64{5, 7, 9, 11, 13}
+	b := []float64{6, 8, 10, 12, 14}
+	if pa, pb := MannWhitney(a, b), MannWhitney(b, a); pa != pb {
+		t.Fatalf("asymmetric: p(a,b)=%v p(b,a)=%v", pa, pb)
+	}
+}
+
+func TestMannWhitneyOverlappingSamplesInsignificant(t *testing.T) {
+	a := []float64{10, 12, 11, 13, 9}
+	b := []float64{11, 10, 13, 12, 9.5}
+	if p := MannWhitney(a, b); p < 0.2 {
+		t.Fatalf("heavily overlapping samples: p = %v, want >= 0.2", p)
+	}
+}
+
+func TestMannWhitneyIdenticalSamples(t *testing.T) {
+	a := []float64{5, 5, 5, 5}
+	if p := MannWhitney(a, a); p != 1 {
+		t.Fatalf("identical constant samples: p = %v, want 1", p)
+	}
+}
+
+func TestMannWhitneyDegenerate(t *testing.T) {
+	if p := MannWhitney(nil, []float64{1, 2}); p != 1 {
+		t.Fatalf("empty sample: p = %v, want 1", p)
+	}
+}
+
+// TestMannWhitneyTiedLargeSamples drives the normal-approximation
+// branch (ties force it regardless of n).
+func TestMannWhitneyTiedLargeSamples(t *testing.T) {
+	var a, b []float64
+	for i := 0; i < 20; i++ {
+		a = append(a, float64(i/2)) // ties within and across groups
+		b = append(b, float64(i/2)+8)
+	}
+	if p := MannWhitney(a, b); p >= 0.001 {
+		t.Fatalf("shifted tied samples: p = %v, want < 0.001", p)
+	}
+	if p := MannWhitney(a, a); p < 0.9 {
+		t.Fatalf("self comparison with ties: p = %v, want ~1", p)
+	}
+}
+
+func TestExactDistributionSumsToTotal(t *testing.T) {
+	// P(U <= n1*n2) must be 1, so the two-sided value clamps to 1.
+	if p := exactMWP(5, 6, 30); p != 1 {
+		t.Fatalf("full cumulative = %v, want 1", p)
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	if got := binomial(14, 7); got != 3432 {
+		t.Fatalf("C(14,7) = %v, want 3432", got)
+	}
+	if got := binomial(5, 9); got != 0 {
+		t.Fatalf("C(5,9) = %v, want 0", got)
+	}
+}
