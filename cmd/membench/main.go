@@ -3,11 +3,12 @@
 // paths and writes machine-readable suites, and it compares two suites
 // with a benchstat-style significance test and a regression gate.
 //
-//	membench [-preset short|full] [-run regex] [-json out.json] [-list] [-q]
-//	membench compare [-max-regress frac] [-alpha a] old.json new.json
+//	membench [-preset short|full] [-run regex] [-json out.json] [-benchmem] [-list] [-q]
+//	membench compare [-max-regress frac] [-max-alloc-regress frac] [-alpha a] old.json new.json
 //
 // `membench compare` exits 1 when any benchmark slowed beyond
-// -max-regress with statistical significance — the CI regression gate.
+// -max-regress with statistical significance, or grew allocs/op beyond
+// -max-alloc-regress — the CI regression gate.
 // BENCHMARKS.md documents the suite format, presets and baseline
 // refresh procedure.
 package main
@@ -33,6 +34,7 @@ func runSuite(args []string) int {
 	preset := fs.String("preset", "short", "workload preset: short or full")
 	runPat := fs.String("run", "", "only run benchmarks matching this regexp")
 	jsonOut := fs.String("json", "", "write the suite as JSON to this path")
+	benchmem := fs.Bool("benchmem", true, "record allocs/op and bytes/op columns")
 	list := fs.Bool("list", false, "list benchmark names and exit")
 	quiet := fs.Bool("q", false, "suppress per-benchmark progress output")
 	fs.Parse(args)
@@ -63,7 +65,7 @@ func runSuite(args []string) int {
 	if *quiet {
 		logf = nil
 	}
-	suite, err := bench.RunSuite(p, filter, logf)
+	suite, err := bench.RunSuiteOptions(p, filter, *benchmem, logf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -94,10 +96,12 @@ func runCompare(args []string) int {
 	fs := flag.NewFlagSet("membench compare", flag.ExitOnError)
 	maxRegress := fs.Float64("max-regress", 0.2,
 		"fail when a benchmark's median slows by more than this fraction with significance (1.0 = 2x)")
+	maxAllocRegress := fs.Float64("max-alloc-regress", 0.5,
+		"fail when a benchmark's allocs/op grows by more than this fraction (negative disables)")
 	alpha := fs.Float64("alpha", 0.05, "significance level for the Mann-Whitney test")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: membench compare [-max-regress frac] [-alpha a] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: membench compare [-max-regress frac] [-max-alloc-regress frac] [-alpha a] old.json new.json")
 		return 2
 	}
 	oldSuite, err := bench.ReadSuite(fs.Arg(0))
@@ -111,7 +115,7 @@ func runCompare(args []string) int {
 		return 2
 	}
 	rep, err := bench.Compare(oldSuite, newSuite, bench.CompareConfig{
-		Alpha: *alpha, MaxRegress: *maxRegress,
+		Alpha: *alpha, MaxRegress: *maxRegress, MaxAllocRegress: *maxAllocRegress,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

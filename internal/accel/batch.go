@@ -1,0 +1,69 @@
+package accel
+
+import (
+	"fmt"
+
+	"memsci/internal/parallel"
+)
+
+// ApplyBatch computes ys[k] = A·xs[k] for a batch of right-hand sides,
+// spreading the batch over cached engine forks — one serial engine per
+// worker, each with its own per-cluster scratch arenas — the way the
+// hardware would pipeline independent MVM requests through one
+// programmed matrix.
+//
+// Each ys[k] is bit-identical to what e.Apply(ys[k], xs[k]) would
+// produce, regardless of worker count or scheduling: RHS k is computed
+// end to end by a single fork, and Apply's result does not depend on
+// which (fork or origin) engine runs it. (With InjectErrors, every fork
+// replays the configured seed, so each RHS sees the error stream of a
+// freshly programmed accelerator rather than a continuation of the
+// origin's.) Worker statistics are merged back into e's clusters after
+// the join, in fork order, so Stats/TakeStats account for batch work
+// exactly as for serial work.
+//
+// ApplyBatch must not run concurrently with Apply or ApplyBatch on the
+// same Engine. ys[k] slices must not alias each other or xs.
+func (e *Engine) ApplyBatch(ys, xs [][]float64) {
+	if len(ys) != len(xs) {
+		panic(fmt.Sprintf("accel: ApplyBatch with %d outputs for %d inputs", len(ys), len(xs)))
+	}
+	if len(xs) == 0 {
+		return
+	}
+	workers := parallel.Clamp(e.Parallelism, len(xs))
+	if workers <= 1 {
+		for k := range xs {
+			e.Apply(ys[k], xs[k])
+		}
+		return
+	}
+	e.ensureBatchForks(workers)
+	// Static round-robin assignment: worker w owns every RHS k with
+	// k ≡ w (mod workers). No channel, no stealing — the assignment is a
+	// pure function of the batch shape, which keeps per-RHS stats and
+	// error streams independent of scheduling.
+	parallel.For(workers, workers, func(w int) {
+		eng := e.batchForks[w]
+		for k := w; k < len(xs); k += workers {
+			eng.Apply(ys[k], xs[k])
+		}
+	})
+	for _, f := range e.batchForks[:workers] {
+		for i, eb := range e.clusters {
+			eb.cluster.Stats().Merge(f.clusters[i].cluster.Stats())
+			f.clusters[i].cluster.ResetStats()
+		}
+	}
+}
+
+// ensureBatchForks grows the cached worker-engine pool to n. Forks are
+// created serial (Parallelism 1): batch-level parallelism replaces
+// cluster-level fan-out, not multiplies it.
+func (e *Engine) ensureBatchForks(n int) {
+	for len(e.batchForks) < n {
+		f := e.Fork()
+		f.Parallelism = 1
+		e.batchForks = append(e.batchForks, f)
+	}
+}

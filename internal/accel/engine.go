@@ -28,10 +28,20 @@ type Engine struct {
 	cfg      core.ClusterConfig
 
 	// Parallelism bounds the worker goroutines used to program clusters
-	// (NewEngine) and to fan cluster MVMs out (Apply). NewEngine sets it
+	// (NewEngine), to fan cluster MVMs out (Apply), and to spread a
+	// multi-RHS batch over engine forks (ApplyBatch). NewEngine sets it
 	// to runtime.GOMAXPROCS(0); set it to 1 to force the serial path
 	// (<= 0 also selects the default).
 	Parallelism int
+
+	// outs and applyErrs are the per-cluster fan-out scratch for
+	// applyParallel, hoisted out of the per-call path (Apply runs once
+	// per solver iteration; the solver loop should not allocate here).
+	outs      [][]float64
+	applyErrs []error
+	// batchForks are the cached per-worker engines behind ApplyBatch,
+	// grown on demand and reused across batches.
+	batchForks []*Engine
 }
 
 type engineBlock struct {
@@ -60,6 +70,8 @@ func NewEngine(plan *blocking.Plan, cfg core.ClusterConfig, seedBase int64) (*En
 		}
 	}
 	e.clusters = clusters
+	e.outs = make([][]float64, len(clusters))
+	e.applyErrs = make([]error, len(clusters))
 	return e, nil
 }
 
@@ -151,10 +163,12 @@ func (e *Engine) Apply(y, x []float64) {
 }
 
 func (e *Engine) applyParallel(y, x []float64) {
-	outs := make([][]float64, len(e.clusters))
-	errs := make([]error, len(e.clusters))
+	outs, errs := e.outs, e.applyErrs
 	parallel.For(len(e.clusters), e.Parallelism, func(i int) {
 		eb := e.clusters[i]
+		// The returned slice is owned by cluster i's arena; it stays
+		// valid through the merge below because each cluster runs one
+		// MulVec per Apply.
 		outs[i], errs[i] = eb.cluster.MulVec(x[eb.colOff : eb.colOff+eb.cols])
 	})
 	for i, eb := range e.clusters { // deterministic merge: cluster order
@@ -165,6 +179,7 @@ func (e *Engine) applyParallel(y, x []float64) {
 		for k, v := range outs[i] {
 			dst[k] += v
 		}
+		outs[i] = nil // don't retain arena views past the call
 	}
 }
 
@@ -184,6 +199,8 @@ func (e *Engine) Fork() *Engine {
 			rowOff:  eb.rowOff, colOff: eb.colOff, rows: eb.rows, cols: eb.cols,
 		}
 	}
+	n.outs = make([][]float64, len(n.clusters))
+	n.applyErrs = make([]error, len(n.clusters))
 	return n
 }
 

@@ -187,41 +187,70 @@ func NewCorrector(maxBits, maxCount int) *Corrector {
 	return c
 }
 
+// Scratch holds the temporaries one decode needs. A caller that keeps a
+// Scratch across CorrectInto calls pays zero allocations on the
+// zero-syndrome path (the overwhelmingly common one), and only the
+// candidate copies on actual corrections. A Scratch must not be shared
+// between goroutines; the Corrector itself remains immutable and safe
+// for concurrent use.
+type Scratch struct {
+	q, r, e, fixed, rem big.Int
+}
+
 // Correct attempts to recover the decoded operand from a possibly
 // corrupted codeword v, given that the error-free decoded value lies in
 // [min, max] (inclusive). It returns the decoded value (v_corrected / A)
-// and the outcome classification.
+// and the outcome classification. It is a thin allocating wrapper over
+// CorrectInto.
 func (c *Corrector) Correct(v, min, max *big.Int) (*big.Int, Outcome) {
-	r := Residue(v)
+	return c.CorrectInto(v, min, max, new(Scratch))
+}
+
+// CorrectInto is Correct with caller-provided scratch: the returned
+// value may point into scr (valid until the next CorrectInto call with
+// the same scratch) and the zero-syndrome fast path performs no heap
+// allocations. A nil scr is allocated on the spot.
+func (c *Corrector) CorrectInto(v, min, max *big.Int, scr *Scratch) (*big.Int, Outcome) {
+	if scr == nil {
+		scr = new(Scratch)
+	}
+	// One QuoRem yields both the candidate decode and the syndrome;
+	// folding the truncated remainder to the Euclidean residue keeps the
+	// table lookup identical to Residue() for negative inputs.
+	scr.q.QuoRem(v, bigA, &scr.r)
+	r := int(scr.r.Int64())
+	if r < 0 {
+		r += A
+	}
 	if r == 0 {
-		q, _ := Decode(v)
-		return q, OK
+		return &scr.q, OK
 	}
 	var matches []*big.Int
 	for _, cand := range c.table[r] {
 		for k := cand.kmod; k < c.MaxBits; k += Ord {
 			// error e = sign·count·2^k; corrected codeword = v − e.
-			e := new(big.Int).Lsh(big.NewInt(int64(cand.count)), uint(k))
+			scr.e.SetInt64(int64(cand.count))
+			scr.e.Lsh(&scr.e, uint(k))
 			if cand.sign < 0 {
-				e.Neg(e)
+				scr.e.Neg(&scr.e)
 			}
-			fixed := new(big.Int).Sub(v, e)
-			q, rem := new(big.Int).QuoRem(fixed, bigA, new(big.Int))
-			if rem.Sign() != 0 {
+			scr.fixed.Sub(v, &scr.e)
+			scr.q.QuoRem(&scr.fixed, bigA, &scr.rem)
+			if scr.rem.Sign() != 0 {
 				continue // shouldn't happen; syndrome math guarantees divisibility
 			}
-			if q.Cmp(min) < 0 || q.Cmp(max) > 0 {
+			if scr.q.Cmp(min) < 0 || scr.q.Cmp(max) > 0 {
 				continue
 			}
-			matches = append(matches, q)
+			matches = append(matches, new(big.Int).Set(&scr.q))
 		}
 	}
 	switch len(matches) {
 	case 0:
 		// Detection only: return the floor decode so callers can proceed,
 		// flagged uncorrectable.
-		q := new(big.Int).Div(v, bigA)
-		return q, Uncorrectable
+		scr.q.Div(v, bigA)
+		return &scr.q, Uncorrectable
 	case 1:
 		return matches[0], Corrected
 	default:

@@ -1,0 +1,71 @@
+package ancode
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// TestCorrectIntoMatchesCorrect: the scratch-accepting variant must make
+// identical decisions (value and outcome) to the allocating wrapper,
+// with the scratch reused across every shape of decode.
+func TestCorrectIntoMatchesCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := NewCorrector(130, 1)
+	scr := new(Scratch)
+	zero := new(big.Int)
+	max := new(big.Int).Lsh(big.NewInt(1), 120)
+	for i := 0; i < 500; i++ {
+		u := new(big.Int).Rand(rng, max)
+		v := Encode(u)
+		switch rng.Intn(3) {
+		case 0: // clean codeword
+		case 1: // single-count error
+			e := new(big.Int).Lsh(big.NewInt(1), uint(rng.Intn(125)))
+			if rng.Intn(2) == 0 {
+				e.Neg(e)
+			}
+			v.Add(v, e)
+		case 2: // junk offset (usually uncorrectable)
+			v.Add(v, big.NewInt(int64(rng.Intn(1000)+1)))
+		}
+		wantQ, wantOut := c.Correct(v, zero, max)
+		gotQ, gotOut := c.CorrectInto(v, zero, max, scr)
+		if gotOut != wantOut || gotQ.Cmp(wantQ) != 0 {
+			t.Fatalf("decode %v: CorrectInto (%v, %v) != Correct (%v, %v)",
+				v, gotQ, gotOut, wantQ, wantOut)
+		}
+	}
+}
+
+// The zero-syndrome fast path — the one the MVM inner loop takes on
+// every conversion in the validated design point — must not allocate
+// once the scratch is warm.
+func TestCorrectIntoCleanPathAllocs(t *testing.T) {
+	c := NewCorrector(130, 1)
+	scr := new(Scratch)
+	zero := new(big.Int)
+	max := new(big.Int).Lsh(big.NewInt(1), 120)
+	v := Encode(new(big.Int).Lsh(big.NewInt(12345), 80))
+	c.CorrectInto(v, zero, max, scr) // warm the scratch capacities
+	allocs := testing.AllocsPerRun(200, func() {
+		q, out := c.CorrectInto(v, zero, max, scr)
+		if out != OK || q.Sign() == 0 {
+			t.Fatal("unexpected decode")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("clean-path CorrectInto allocated %.1f/run, want 0", allocs)
+	}
+}
+
+func TestCorrectIntoNilScratch(t *testing.T) {
+	c := NewCorrector(130, 1)
+	zero := new(big.Int)
+	max := new(big.Int).Lsh(big.NewInt(1), 120)
+	u := big.NewInt(42)
+	q, out := c.CorrectInto(Encode(u), zero, max, nil)
+	if out != OK || q.Cmp(u) != 0 {
+		t.Fatalf("nil-scratch decode: got (%v, %v)", q, out)
+	}
+}

@@ -109,6 +109,17 @@ type Instance struct {
 	Metrics func(total time.Duration) map[string]float64
 }
 
+// MemStats records per-operation heap-allocation behavior, measured as
+// runtime.ReadMemStats deltas (Mallocs, TotalAlloc are monotonic) over
+// the timed repetitions. Unlike wall time these are near-deterministic
+// for a fixed workload, which makes them a sharp regression signal: an
+// accidental per-iteration allocation shows up as an exact count jump,
+// not a noisy percentile shift.
+type MemStats struct {
+	AllocsPerOp float64 `json:"allocsPerOp"`
+	BytesPerOp  float64 `json:"bytesPerOp"`
+}
+
 // Result is the recorded outcome of one benchmark.
 type Result struct {
 	Name string `json:"name"`
@@ -128,6 +139,10 @@ type Result struct {
 	// same code at the same preset; Compare uses them to detect
 	// workload drift.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Mem is the allocation measurement, absent in suites recorded
+	// before the columns existed or with measurement disabled (the
+	// comparison gate skips the alloc check when either side lacks it).
+	Mem *MemStats `json:"mem,omitempty"`
 }
 
 // Suite is a full run: environment fingerprint plus per-benchmark
@@ -154,9 +169,17 @@ func (s *Suite) Lookup(name string) *Result {
 }
 
 // RunSuite executes every registered benchmark whose name matches
-// filter (nil means all) at the given preset. logf, when non-nil,
-// receives one progress line per benchmark as it completes.
+// filter (nil means all) at the given preset, with allocation
+// measurement enabled. logf, when non-nil, receives one progress line
+// per benchmark as it completes.
 func RunSuite(p Preset, filter *regexp.Regexp, logf func(format string, args ...any)) (*Suite, error) {
+	return RunSuiteOptions(p, filter, true, logf)
+}
+
+// RunSuiteOptions is RunSuite with allocation measurement selectable
+// (cmd/membench's -benchmem flag; disabling it removes the two
+// ReadMemStats stop-the-world pauses per benchmark).
+func RunSuiteOptions(p Preset, filter *regexp.Regexp, benchmem bool, logf func(format string, args ...any)) (*Suite, error) {
 	if p.Reps < 1 {
 		return nil, fmt.Errorf("bench: preset %q has no repetitions", p.Name)
 	}
@@ -173,14 +196,20 @@ func RunSuite(p Preset, filter *regexp.Regexp, logf func(format string, args ...
 		if filter != nil && !filter.MatchString(b.Name) {
 			continue
 		}
-		r, err := runOne(b, p)
+		r, err := runOne(b, p, benchmem)
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s: %w", b.Name, err)
 		}
 		s.Results = append(s.Results, r)
 		if logf != nil {
-			logf("%-28s median %12s  iqr %10s  x%d\n",
-				r.Name, fmtNs(r.MedianNs), fmtNs(r.IQRNs), r.InnerOps)
+			if r.Mem != nil {
+				logf("%-28s median %12s  iqr %10s  x%d  %8.1f allocs/op %10.0f B/op\n",
+					r.Name, fmtNs(r.MedianNs), fmtNs(r.IQRNs), r.InnerOps,
+					r.Mem.AllocsPerOp, r.Mem.BytesPerOp)
+			} else {
+				logf("%-28s median %12s  iqr %10s  x%d\n",
+					r.Name, fmtNs(r.MedianNs), fmtNs(r.IQRNs), r.InnerOps)
+			}
 		}
 	}
 	if len(s.Results) == 0 {
@@ -189,7 +218,7 @@ func RunSuite(p Preset, filter *regexp.Regexp, logf func(format string, args ...
 	return s, nil
 }
 
-func runOne(b Benchmark, p Preset) (Result, error) {
+func runOne(b Benchmark, p Preset, benchmem bool) (Result, error) {
 	inst, err := b.Setup(p)
 	if err != nil {
 		return Result{}, fmt.Errorf("setup: %w", err)
@@ -205,6 +234,14 @@ func runOne(b Benchmark, p Preset) (Result, error) {
 	}
 	if inst.BeforeTimed != nil {
 		inst.BeforeTimed()
+	}
+	// Allocation accounting brackets the timed repetitions: Mallocs and
+	// TotalAlloc are monotonic, so the delta divided by the operation
+	// count is exact regardless of GC activity in between. The two
+	// ReadMemStats calls sit outside every per-sample timer.
+	var m0 runtime.MemStats
+	if benchmem {
+		runtime.ReadMemStats(&m0)
 	}
 	samples := make([]float64, 0, p.Reps)
 	var total time.Duration
@@ -223,6 +260,15 @@ func runOne(b Benchmark, p Preset) (Result, error) {
 		MedianNs:  Median(samples),
 		IQRNs:     IQR(samples),
 		InnerOps:  inner,
+	}
+	if benchmem {
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		ops := float64(p.Reps) * float64(inner)
+		r.Mem = &MemStats{
+			AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / ops,
+			BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / ops,
+		}
 	}
 	if inst.Metrics != nil {
 		r.Metrics = inst.Metrics(total)

@@ -21,7 +21,21 @@ type CompareConfig struct {
 	// hardware; the gate exists to catch gross regressions, the
 	// per-benchmark report to surface subtle ones.
 	MaxRegress float64
+	// MaxAllocRegress gates allocs/op growth the same way: a benchmark
+	// fails when its allocs/op grew by more than this fraction (0.5 =
+	// more than 1.5×) and by more than allocGateFloor per op (tiny
+	// counts are below measurement noise). Allocation counts are
+	// near-deterministic and hardware-independent, so this gate can be
+	// much tighter than the timing one. Zero means 0.5; negative
+	// disables the gate. Benchmarks without Mem on either side never
+	// alloc-gate.
+	MaxAllocRegress float64
 }
+
+// allocGateFloor is the absolute allocs/op growth below which the alloc
+// gate never fires, whatever the ratio: going from 0.1 to 1 allocs/op
+// is a 10× "regression" of pure accounting noise.
+const allocGateFloor = 16.0
 
 func (c CompareConfig) alpha() float64 {
 	if c.Alpha <= 0 {
@@ -35,6 +49,16 @@ func (c CompareConfig) maxRegress() float64 {
 		return 0.2
 	}
 	return c.MaxRegress
+}
+
+func (c CompareConfig) maxAllocRegress() (float64, bool) {
+	if c.MaxAllocRegress < 0 {
+		return 0, false
+	}
+	if c.MaxAllocRegress == 0 {
+		return 0.5, true
+	}
+	return c.MaxAllocRegress, true
 }
 
 // Delta is the comparison outcome for one benchmark name.
@@ -55,6 +79,17 @@ type Delta struct {
 	Regression bool `json:"regression"`
 	// Improvement is a significant speedup (informational).
 	Improvement bool `json:"improvement"`
+	// HasMem reports that both suites carried allocation columns for
+	// this benchmark; the alloc fields below are meaningful only then.
+	HasMem bool `json:"hasMem,omitempty"`
+	// OldAllocs/NewAllocs are allocs/op; AllocChange is their relative
+	// growth ((new − old)/old).
+	OldAllocs   float64 `json:"oldAllocsPerOp,omitempty"`
+	NewAllocs   float64 `json:"newAllocsPerOp,omitempty"`
+	AllocChange float64 `json:"allocChange,omitempty"`
+	// AllocRegression is the alloc-gate verdict: allocs/op grew beyond
+	// MaxAllocRegress (and the absolute floor) on a comparable workload.
+	AllocRegression bool `json:"allocRegression,omitempty"`
 	// Drifted lists deterministic metrics whose values differ between
 	// the suites: the workload changed, so the time delta is not
 	// comparable and is excluded from the gate.
@@ -108,6 +143,18 @@ func Compare(base, head *Suite, cfg CompareConfig) (*Report, error) {
 		comparable := len(d.Drifted) == 0
 		d.Regression = comparable && d.Significant && d.Change > cfg.maxRegress()
 		d.Improvement = comparable && d.Significant && d.Change < 0
+		if o.Mem != nil && n.Mem != nil {
+			d.HasMem = true
+			d.OldAllocs, d.NewAllocs = o.Mem.AllocsPerOp, n.Mem.AllocsPerOp
+			if d.OldAllocs > 0 {
+				d.AllocChange = (d.NewAllocs - d.OldAllocs) / d.OldAllocs
+			}
+			if thresh, on := cfg.maxAllocRegress(); on {
+				d.AllocRegression = comparable &&
+					d.NewAllocs > d.OldAllocs*(1+thresh) &&
+					d.NewAllocs-d.OldAllocs > allocGateFloor
+			}
+		}
 		rep.Deltas = append(rep.Deltas, d)
 	}
 	return rep, nil
@@ -154,6 +201,17 @@ func (r *Report) Regressions() []Delta {
 	return out
 }
 
+// AllocRegressions returns the deltas that fail the allocation gate.
+func (r *Report) AllocRegressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.AllocRegression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 // Drifted returns the deltas whose workloads changed between suites.
 func (r *Report) Drifted() []Delta {
 	var out []Delta
@@ -166,20 +224,33 @@ func (r *Report) Drifted() []Delta {
 }
 
 // Gate returns a non-nil error when any benchmark regressed beyond the
-// configured threshold — the error the CI job turns into a red check.
+// configured timing or allocation threshold — the error the CI job
+// turns into a red check.
 func (r *Report) Gate() error {
 	regs := r.Regressions()
-	if len(regs) == 0 {
+	aregs := r.AllocRegressions()
+	if len(regs) == 0 && len(aregs) == 0 {
 		return nil
 	}
-	worst := regs[0]
-	for _, d := range regs {
-		if d.Change > worst.Change {
+	if len(regs) > 0 {
+		worst := regs[0]
+		for _, d := range regs {
+			if d.Change > worst.Change {
+				worst = d
+			}
+		}
+		return fmt.Errorf("bench: %d benchmark(s) regressed beyond %.0f%% (worst: %s %+.1f%%, p=%.3g); %d alloc regression(s)",
+			len(regs), r.Config.maxRegress()*100, worst.Name, worst.Change*100, worst.P, len(aregs))
+	}
+	worst := aregs[0]
+	for _, d := range aregs {
+		if d.AllocChange > worst.AllocChange {
 			worst = d
 		}
 	}
-	return fmt.Errorf("bench: %d benchmark(s) regressed beyond %.0f%% (worst: %s %+.1f%%, p=%.3g)",
-		len(regs), r.Config.maxRegress()*100, worst.Name, worst.Change*100, worst.P)
+	thresh, _ := r.Config.maxAllocRegress()
+	return fmt.Errorf("bench: %d benchmark(s) grew allocs/op beyond %.0f%% (worst: %s %.1f -> %.1f allocs/op, %+.0f%%)",
+		len(aregs), thresh*100, worst.Name, worst.OldAllocs, worst.NewAllocs, worst.AllocChange*100)
 }
 
 // Format renders a benchstat-style table. The trailing marker column:
@@ -208,6 +279,12 @@ func (r *Report) Format(w io.Writer) {
 			mark = "+"
 		case d.Significant && d.Change > 0:
 			mark = "slower (below gate)"
+		}
+		if d.AllocRegression {
+			mark += "  ! ALLOC REGRESSION"
+		}
+		if d.HasMem {
+			mark += fmt.Sprintf("  [allocs/op %.1f -> %.1f]", d.OldAllocs, d.NewAllocs)
 		}
 		fmt.Fprintf(w, "%-28s %14s %14s %+8.1f%% %8.3g  %s\n",
 			d.Name, fmtNs(d.OldNs), fmtNs(d.NewNs), d.Change*100, d.P, mark)

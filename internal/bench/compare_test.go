@@ -175,6 +175,110 @@ func TestComparePresetMismatchRejected(t *testing.T) {
 	}
 }
 
+// withMem attaches allocation columns to every result in a suite.
+func withMem(s *Suite, allocs map[string]float64) *Suite {
+	for i := range s.Results {
+		if a, ok := allocs[s.Results[i].Name]; ok {
+			s.Results[i].Mem = &MemStats{AllocsPerOp: a, BytesPerOp: a * 64}
+		}
+	}
+	return s
+}
+
+// TestCompareAllocGateFlagsGrowth is the acceptance test for the
+// allocation gate: an allocs/op explosion on a timing-stable benchmark
+// must fail Gate even though the timing gate stays green.
+func TestCompareAllocGateFlagsGrowth(t *testing.T) {
+	samples := map[string][]float64{"engine/apply/serial": jitter(100, 7)}
+	base := withMem(mkSuite("short", samples), map[string]float64{"engine/apply/serial": 4})
+	head := withMem(mkSuite("short", samples), map[string]float64{"engine/apply/serial": 120})
+	rep, err := Compare(base, head, CompareConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := rep.Deltas[0]
+	if !d.HasMem || d.OldAllocs != 4 || d.NewAllocs != 120 {
+		t.Fatalf("alloc columns not threaded: %+v", d)
+	}
+	if !d.AllocRegression || d.Regression {
+		t.Fatalf("want alloc-only regression, got %+v", d)
+	}
+	if aregs := rep.AllocRegressions(); len(aregs) != 1 {
+		t.Fatalf("AllocRegressions = %+v", aregs)
+	}
+	err = rep.Gate()
+	if err == nil {
+		t.Fatal("Gate() = nil, want error on alloc growth")
+	}
+	if !strings.Contains(err.Error(), "allocs/op") || !strings.Contains(err.Error(), "engine/apply/serial") {
+		t.Fatalf("gate error %q does not describe the alloc regression", err)
+	}
+	var buf bytes.Buffer
+	rep.Format(&buf)
+	if !strings.Contains(buf.String(), "ALLOC REGRESSION") {
+		t.Fatalf("report missing alloc marker:\n%s", buf.String())
+	}
+}
+
+// The alloc gate tolerates small absolute growth (below allocGateFloor)
+// whatever the ratio, skips benchmarks without Mem on both sides, skips
+// drifted workloads, and can be disabled with a negative threshold.
+func TestCompareAllocGateTolerances(t *testing.T) {
+	samples := map[string][]float64{"a": jitter(100, 7)}
+
+	// 0.5 -> 8 allocs/op is 16x relative but under the absolute floor.
+	rep, err := Compare(
+		withMem(mkSuite("short", samples), map[string]float64{"a": 0.5}),
+		withMem(mkSuite("short", samples), map[string]float64{"a": 8}),
+		CompareConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deltas[0].AllocRegression {
+		t.Fatalf("sub-floor growth gated: %+v", rep.Deltas[0])
+	}
+
+	// Mem on only one side: never alloc-gates, HasMem stays false.
+	rep, err = Compare(
+		mkSuite("short", samples),
+		withMem(mkSuite("short", samples), map[string]float64{"a": 500}),
+		CompareConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deltas[0].HasMem || rep.Deltas[0].AllocRegression {
+		t.Fatalf("one-sided Mem gated: %+v", rep.Deltas[0])
+	}
+
+	// Drifted workload: alloc delta is incomparable, never gates.
+	base := withMem(mkSuite("short", samples), map[string]float64{"a": 4})
+	head := withMem(mkSuite("short", samples), map[string]float64{"a": 400})
+	base.Results[0].Metrics = map[string]float64{"iterations": 90}
+	head.Results[0].Metrics = map[string]float64{"iterations": 240}
+	rep, err = Compare(base, head, CompareConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deltas[0].AllocRegression {
+		t.Fatalf("drifted workload alloc-gated: %+v", rep.Deltas[0])
+	}
+
+	// Negative threshold disables the gate outright.
+	rep, err = Compare(
+		withMem(mkSuite("short", samples), map[string]float64{"a": 4}),
+		withMem(mkSuite("short", samples), map[string]float64{"a": 4000}),
+		CompareConfig{MaxAllocRegress: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deltas[0].AllocRegression {
+		t.Fatalf("disabled alloc gate fired: %+v", rep.Deltas[0])
+	}
+	if err := rep.Gate(); err != nil {
+		t.Fatalf("Gate() with disabled alloc gate: %v", err)
+	}
+}
+
 func TestReportFormatMentionsRegression(t *testing.T) {
 	base := mkSuite("short", map[string][]float64{"a": jitter(100, 7)})
 	head := mkSuite("short", map[string][]float64{"a": jitter(500, 7)})

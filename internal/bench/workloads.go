@@ -33,6 +33,7 @@ func All() []Benchmark {
 		{Name: "engine/program", Setup: setupEngineProgram},
 		{Name: "engine/apply/serial", Setup: func(p Preset) (*Instance, error) { return setupEngineApply(p, 1) }},
 		{Name: "engine/apply/parallel", Setup: func(p Preset) (*Instance, error) { return setupEngineApply(p, runtime.GOMAXPROCS(0)) }},
+		{Name: "engine/apply/batch", Setup: setupEngineApplyBatch},
 		{Name: "solve/csr/cg", Setup: func(p Preset) (*Instance, error) { return setupCSRSolve(p, "cg") }},
 		{Name: "solve/csr/bicgstab", Setup: func(p Preset) (*Instance, error) { return setupCSRSolve(p, "bicgstab") }},
 		{Name: "solve/csr/bicg", Setup: func(p Preset) (*Instance, error) { return setupCSRSolve(p, "bicg") }},
@@ -127,6 +128,53 @@ func setupEngineApply(p Preset, workers int) (*Instance, error) {
 				"workers":                 float64(workers),
 				"adc_conversions_per_sec": float64(s.Conversions) * perSec(1, total),
 				"slices_per_sec":          float64(s.VectorSlicesApplied) * perSec(1, total),
+			}
+		},
+	}, nil
+}
+
+// batchRHS is the multi-RHS batch width of the engine/apply/batch
+// workload: large enough to keep every worker fork busy, small enough
+// that the short preset stays fast.
+const batchRHS = 8
+
+// setupEngineApplyBatch times Engine.ApplyBatch over batchRHS
+// right-hand sides with the full worker pool; samples are ns per RHS,
+// directly comparable with engine/apply/serial (a batch that beats
+// serial per-RHS time shows the fork pipeline paying off).
+func setupEngineApplyBatch(p Preset) (*Instance, error) {
+	plan, err := enginePlan(p)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := accel.NewEngine(plan, core.DefaultClusterConfig(), 1)
+	if err != nil {
+		return nil, err
+	}
+	xrng := rand.New(rand.NewSource(4))
+	xs := make([][]float64, batchRHS)
+	ys := make([][]float64, batchRHS)
+	for k := range xs {
+		xs[k] = make([]float64, eng.Cols())
+		for i := range xs[k] {
+			xs[k][i] = xrng.NormFloat64()
+		}
+		ys[k] = make([]float64, eng.Rows())
+	}
+	return &Instance{
+		InnerOps: batchRHS,
+		Run: func() error {
+			eng.ApplyBatch(ys, xs)
+			return nil
+		},
+		BeforeTimed: func() { eng.TakeStats() },
+		Metrics: func(total time.Duration) map[string]float64 {
+			s := eng.TakeStats()
+			return map[string]float64{
+				"clusters":                float64(eng.Clusters()),
+				"batch":                   batchRHS,
+				"adc_conversions_per_sec": float64(s.Conversions) * perSec(1, total),
+				"rhs_per_sec":             float64(batchRHS) * perSec(p.Reps, total),
 			}
 		},
 	}, nil

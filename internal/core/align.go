@@ -110,9 +110,19 @@ func expRange(vals []float64) (minE, maxE int, any bool) {
 // Encode converts one value into its signed aligned fixed-point integer
 // under the code. The conversion is exact: Decode(Encode(v)) == v.
 func (c BlockCode) Encode(v float64) *big.Int {
+	z := new(big.Int)
+	c.encodeInto(z, v)
+	return z
+}
+
+// encodeInto is Encode writing into an existing integer, the reuse form
+// the vector-slicing arena depends on (no allocation once z has
+// capacity).
+func (c BlockCode) encodeInto(z *big.Int, v float64) {
 	d := Decompose(v)
 	if d.Zero {
-		return new(big.Int)
+		z.SetInt64(0)
+		return
 	}
 	if c.Empty {
 		panic("core: encoding nonzero value under empty block code")
@@ -121,12 +131,11 @@ func (c BlockCode) Encode(v float64) *big.Int {
 	if shift < 0 || shift > c.Width-MantissaBits {
 		panic(fmt.Sprintf("core: value exponent %d outside block code [%d,%d]", d.Exp, c.MinExp, c.MaxExp))
 	}
-	z := new(big.Int).SetUint64(d.Mant)
+	z.SetUint64(d.Mant)
 	z.Lsh(z, uint(shift))
 	if d.Neg {
 		z.Neg(z)
 	}
-	return z
 }
 
 // Decode converts a fixed-point integer back to float64 under the given

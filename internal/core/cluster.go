@@ -38,6 +38,11 @@ type ClusterConfig struct {
 	MaxCorrectCount int
 	// VectorMaxPad bounds vector-segment alignment padding.
 	VectorMaxPad int
+	// ReferenceMVM selects the retained big.Int MulVec implementation
+	// instead of the allocation-free fixed-width one. The two are
+	// bit-identical (enforced by golden equivalence tests); the reference
+	// path exists as the semantic oracle, not as a fallback.
+	ReferenceMVM bool
 }
 
 // DefaultClusterConfig returns the paper's evaluation configuration:
@@ -118,9 +123,18 @@ func (s *ComputeStats) HWCounters() obs.HWCounters {
 	}
 }
 
-func (s *ComputeStats) reset(cols int) {
-	s.ColumnSlicesUsed = make([]int, cols)
-	s.MinSettleSlice = 0
+// resetPerCall rebinds the per-call diagnostic fields to arena-owned
+// storage: ColumnSlicesUsed describes only the most recent MulVec, so
+// the cluster can zero and reuse one backing slice instead of
+// allocating a fresh histogram every call. ResetStats still detaches
+// the pointer (the arena keeps the storage).
+func (c *Cluster) resetPerCall() {
+	buf := c.arena.colUsed
+	for i := range buf {
+		buf[i] = 0
+	}
+	c.stats.ColumnSlicesUsed = buf
+	c.stats.MinSettleSlice = 0
 }
 
 // Cluster is the functional engine for one crossbar cluster: the 127
@@ -144,6 +158,15 @@ type Cluster struct {
 	uMax *big.Int
 	// redWords is the reduction accumulator (reused across columns).
 	redWords []big.Word
+	// sumBits bounds the reduction sum width (coded operand plus
+	// summation growth); it sizes both redWords and the arena.
+	sumBits int
+
+	// arena is the private per-cluster scratch for the fixed-width MVM
+	// path: running sums, vector slices, temporaries. Allocated once at
+	// NewCluster, reused by every MulVec, never shared — Fork builds a
+	// fresh one.
+	arena mvArena
 
 	stats ComputeStats
 }
@@ -211,13 +234,14 @@ func NewCluster(block *Block, cfg ClusterConfig) (*Cluster, error) {
 	}
 	// Corrector candidate positions span the coded operand plus the bits
 	// accumulated by summing up to N operands.
-	sumBits := codedBits + bitsLen(block.N)
-	c.corr = ancode.NewCorrector(sumBits, cfg.MaxCorrectCount)
+	c.sumBits = codedBits + bitsLen(block.N)
+	c.corr = ancode.NewCorrector(c.sumBits, cfg.MaxCorrectCount)
 	// Max decoded per-unit-popcount: 2^UnsignedBits − 1.
 	c.uMax = new(big.Int).Lsh(big.NewInt(1), uint(block.Code.UnsignedBits()))
 	c.uMax.Sub(c.uMax, big.NewInt(1))
 	// Reduction accumulator: coded bits plus the summation growth.
-	c.redWords = make([]big.Word, (sumBits+64+63)/64)
+	c.redWords = make([]big.Word, (c.sumBits+64+63)/64)
+	c.initArena()
 	return c, nil
 }
 
@@ -286,8 +310,10 @@ func (c *Cluster) Fork() *Cluster {
 		corr:      c.corr,
 		bias:      c.bias,
 		uMax:      c.uMax,
+		sumBits:   c.sumBits,
 		redWords:  make([]big.Word, len(c.redWords)),
 	}
+	n.initArena()
 	if c.cfg.InjectErrors {
 		n.arr = device.NewArray(c.cfg.Device, c.cfg.Seed)
 	}
@@ -316,128 +342,30 @@ func (c *Cluster) Stats() *ComputeStats { return &c.stats }
 // partial dot product is AN-checked, de-biased, and accumulated into the
 // per-output running sum; outputs retire as soon as their IEEE mantissa
 // settles (§IV-B).
+//
+// The returned slice is owned by the cluster's scratch arena and is
+// overwritten by the next MulVec call; callers that retain results
+// across calls use MulVecInto. (The reference path allocates a fresh
+// slice, but callers must not rely on that.)
 func (c *Cluster) MulVec(x []float64) ([]float64, error) {
-	b := c.block
-	if len(x) != b.N {
-		return nil, fmt.Errorf("core: vector length %d != block cols %d", len(x), b.N)
+	if c.cfg.ReferenceMVM {
+		return c.mulVecRef(x)
 	}
-	vs, err := SliceVector(x, c.cfg.VectorMaxPad)
-	if err != nil {
-		return nil, err
-	}
-	c.stats.Ops++
-	c.stats.reset(b.M)
-
-	y := make([]float64, b.M)
-	if vs.Code.Empty || b.Code.Empty {
-		return y, nil // zero vector or zero block
-	}
-	scale := CombinedScale(b.Code, vs.Code)
-	c.stats.VectorSlicesTotal += vs.Width
-	c.stats.MinSettleSlice = vs.Width
-
-	run := make([]*big.Int, b.M)
-	for i := range run {
-		run[i] = new(big.Int)
-	}
-	settled := make([]bool, b.M)
-	unsettled := b.M
-
-	p := new(big.Int)
-	contrib := new(big.Int)
-	biased := new(big.Int)
-	applied := 0
-	for j := vs.Width - 1; j >= 0 && unsettled > 0; j-- {
-		slice := vs.Slices[j]
-		popX := vs.Pop[j]
-		applied++
-		c.stats.VectorSlicesApplied++
-		c.stats.CrossbarActivations += uint64(c.nPlanes)
-		c.stats.MinSettleSlice = j
-
-		if popX == 0 {
-			// An all-zero slice contributes nothing but still counts as a
-			// (cheap) application; settled columns are re-checked below
-			// because the remaining-weight bound shrank.
-			c.checkSettle(run, settled, &unsettled, y, j, scale, applied)
-			continue
-		}
-		biased.Mul(c.bias, big.NewInt(int64(popX))) // de-bias term B·pop(x_j)
-		negWeight := vs.Weight(j)
-
-		for i := 0; i < b.M; i++ {
-			if settled[i] {
-				c.stats.ConversionsSkipped += uint64(c.nPlanes)
-				continue
-			}
-			// Shift-and-add reduction across planes: counts land at bit
-			// position plane·bitsPerCell, accumulated in raw words.
-			for w := range c.redWords {
-				c.redWords[w] = 0
-			}
-			for t := 0; t < c.nPlanes; t++ {
-				res := c.planes[t].Column(i, slice, popX, c.arr, c.adc)
-				c.stats.Conversions++
-				c.stats.ConversionBits += uint64(res.BitsConverted)
-				addShifted(c.redWords, uint(t*c.planeBits), uint64(res.Count))
-			}
-			p.SetBits(c.redWords)
-			// AN decode: P = A·Σ U·x must be divisible by A.
-			var q *big.Int
-			if c.cfg.DisableAN {
-				q = new(big.Int).Div(p, big.NewInt(ancode.A))
-			} else {
-				max := new(big.Int).Mul(c.uMax, big.NewInt(int64(popX)))
-				var out ancode.Outcome
-				q, out = c.corr.Correct(p, new(big.Int), max)
-				c.stats.AN.Add(out)
-			}
-			// De-bias: D = Q − B·pop(x_j) = Σ F·x_j.
-			contrib.Sub(q, biased)
-			// Accumulate with the slice weight ±2^j.
-			contrib.Lsh(contrib, uint(j))
-			if negWeight {
-				run[i].Sub(run[i], contrib)
-			} else {
-				run[i].Add(run[i], contrib)
-			}
-		}
-		c.checkSettle(run, settled, &unsettled, y, j, scale, applied)
-	}
-	// Anything still unsettled after the last slice is exact.
-	for i := 0; i < b.M; i++ {
-		if !settled[i] {
-			y[i] = RoundBig(run[i], scale, c.cfg.Rounding)
-			c.stats.ColumnSlicesUsed[i] = vs.Width
-		}
-	}
-	return y, nil
+	return c.mulVecFix(x)
 }
 
-// checkSettle applies the early-termination test after slice j has been
-// accumulated: remaining slices all carry positive weights summing to
-// 2^j − 1, and each remaining partial dot product lies in
-// [RowNeg_i, RowPos_i].
-func (c *Cluster) checkSettle(run []*big.Int, settled []bool, unsettled *int, y []float64, j, scale, applied int) {
-	if c.cfg.DisableEarlyTermination || j == 0 {
-		return
+// MulVecInto is MulVec writing into a caller-owned destination of
+// length M, for callers that hold results across calls.
+func (c *Cluster) MulVecInto(dst []float64, x []float64) error {
+	y, err := c.MulVec(x)
+	if err != nil {
+		return err
 	}
-	rest := RemainingWeight(j)
-	lo := new(big.Int)
-	hi := new(big.Int)
-	for i := range run {
-		if settled[i] {
-			continue
-		}
-		lo.Mul(rest, c.block.RowNeg[i])
-		hi.Mul(rest, c.block.RowPos[i])
-		if v, ok := IntervalSettled(run[i], lo, hi, scale, c.cfg.Rounding); ok {
-			settled[i] = true
-			y[i] = v
-			c.stats.ColumnSlicesUsed[i] = applied
-			*unsettled--
-		}
+	if len(dst) != len(y) {
+		return fmt.Errorf("core: destination length %d != block rows %d", len(dst), len(y))
 	}
+	copy(dst, y)
+	return nil
 }
 
 func bitsLen(n int) int {

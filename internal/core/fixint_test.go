@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"memsci/internal/ancode"
+)
+
+// randFixBig generates a random signed big.Int with up to maxBits bits,
+// biased toward boundary shapes (zero, single bit, all-ones runs).
+func randFixBig(rng *rand.Rand, maxBits int) *big.Int {
+	switch rng.Intn(8) {
+	case 0:
+		return new(big.Int)
+	case 1:
+		z := new(big.Int).Lsh(big.NewInt(1), uint(rng.Intn(maxBits)))
+		if rng.Intn(2) == 0 {
+			z.Neg(z)
+		}
+		return z
+	case 2:
+		// 2^k - 1: maximal carry chains.
+		z := new(big.Int).Lsh(big.NewInt(1), uint(1+rng.Intn(maxBits)))
+		z.Sub(z, big.NewInt(1))
+		if rng.Intn(2) == 0 {
+			z.Neg(z)
+		}
+		return z
+	}
+	n := 1 + rng.Intn(maxBits)
+	z := new(big.Int)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 1 {
+			z.SetBit(z, i, 1)
+		}
+	}
+	if rng.Intn(2) == 0 {
+		z.Neg(z)
+	}
+	return z
+}
+
+func fixFromBig(x *big.Int) *Fix {
+	f := newFixWords(8)
+	f.SetBig(x)
+	return &f
+}
+
+func bigFromFix(f *Fix) *big.Int {
+	return f.AppendBig(new(big.Int))
+}
+
+func TestFixSetAndRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		x := randFixBig(rng, 300)
+		f := fixFromBig(x)
+		if got := bigFromFix(f); got.Cmp(x) != 0 {
+			t.Fatalf("round trip: got %v want %v", got, x)
+		}
+		if f.Sign() != x.Sign() {
+			t.Fatalf("sign: got %d want %d for %v", f.Sign(), x.Sign(), x)
+		}
+		if f.BitLen() != x.BitLen() {
+			t.Fatalf("bitlen: got %d want %d for %v", f.BitLen(), x.BitLen(), x)
+		}
+	}
+}
+
+func TestFixAddSubCmp(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		a := randFixBig(rng, 260)
+		b := randFixBig(rng, 260)
+		fa, fb := fixFromBig(a), fixFromBig(b)
+
+		sum := fixFromBig(a)
+		sum.Add(fb)
+		if want := new(big.Int).Add(a, b); bigFromFix(sum).Cmp(want) != 0 {
+			t.Fatalf("%v + %v: got %v want %v", a, b, bigFromFix(sum), want)
+		}
+		diff := fixFromBig(a)
+		diff.Sub(fb)
+		if want := new(big.Int).Sub(a, b); bigFromFix(diff).Cmp(want) != 0 {
+			t.Fatalf("%v - %v: got %v want %v", a, b, bigFromFix(diff), want)
+		}
+		diffB := fixFromBig(a)
+		diffB.SubBig(b)
+		if want := new(big.Int).Sub(a, b); bigFromFix(diffB).Cmp(want) != 0 {
+			t.Fatalf("SubBig %v - %v: got %v want %v", a, b, bigFromFix(diffB), want)
+		}
+		sumB := fixFromBig(a)
+		sumB.AddBig(b)
+		if want := new(big.Int).Add(a, b); bigFromFix(sumB).Cmp(want) != 0 {
+			t.Fatalf("AddBig %v + %v: got %v want %v", a, b, bigFromFix(sumB), want)
+		}
+		if got, want := fa.Cmp(fb), a.Cmp(b); got != want {
+			t.Fatalf("Cmp(%v, %v): got %d want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestFixLsh(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		a := randFixBig(rng, 200)
+		k := uint(rng.Intn(200))
+		f := fixFromBig(a)
+		f.Lsh(k)
+		if want := new(big.Int).Lsh(a, k); bigFromFix(f).Cmp(want) != 0 {
+			t.Fatalf("%v << %d: got %v want %v", a, k, bigFromFix(f), want)
+		}
+	}
+}
+
+func TestFixDivModSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	divisors := []uint64{ancode.A, 2, 3, 1, 1 << 40}
+	for i := 0; i < 1000; i++ {
+		a := new(big.Int).Abs(randFixBig(rng, 200))
+		d := divisors[rng.Intn(len(divisors))]
+		f := fixFromBig(a)
+		rem := f.DivModSmall(d)
+		q, r := new(big.Int).QuoRem(a, new(big.Int).SetUint64(d), new(big.Int))
+		if bigFromFix(f).Cmp(q) != 0 || rem != r.Uint64() {
+			t.Fatalf("%v /%% %d: got (%v, %d) want (%v, %v)", a, d, bigFromFix(f), rem, q, r)
+		}
+	}
+}
+
+// TestFixRoundMatchesRoundBig is the load-bearing equivalence: the
+// allocation-free rounding must be bit-identical to RoundBig across
+// modes, scales, denormals and overflow.
+func TestFixRoundMatchesRoundBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	modes := []RoundingMode{TowardNegInf, NearestEven, TowardPosInf, TowardZero}
+	scales := []int{0, -52, -120, -1100, -1200, 900, 1024, -2200}
+	for i := 0; i < 4000; i++ {
+		z := randFixBig(rng, 260)
+		scale := scales[rng.Intn(len(scales))] + rng.Intn(40) - 20
+		mode := modes[rng.Intn(len(modes))]
+		f := fixFromBig(z)
+		got := f.Round(scale, mode)
+		want := RoundBig(z, scale, mode)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("Round(%v, scale %d, %v): got %x (%g) want %x (%g)",
+				z, scale, mode, math.Float64bits(got), got, math.Float64bits(want), want)
+		}
+	}
+}
+
+func TestFixRoundMonotoneMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 1000; i++ {
+		lo := randFixBig(rng, 150)
+		hi := new(big.Int).Add(lo, new(big.Int).Abs(randFixBig(rng, 60)))
+		scale := -60 + rng.Intn(40)
+		mode := RoundingMode(rng.Intn(4))
+		fl, fh := fixFromBig(lo), fixFromBig(hi)
+		gv, gok := fl.RoundMonotone(fh, scale, mode)
+		wv, wok := RoundBigMonotone(lo, hi, scale, mode)
+		if gok != wok || (gok && math.Float64bits(gv) != math.Float64bits(wv)) {
+			t.Fatalf("RoundMonotone(%v, %v, %d, %v): got (%g,%v) want (%g,%v)",
+				lo, hi, scale, mode, gv, gok, wv, wok)
+		}
+	}
+}
+
+// TestFixSteadyStateAllocs: once capacity is reached, the kernel ops
+// allocate nothing.
+func TestFixSteadyStateAllocs(t *testing.T) {
+	a := newFixWords(16)
+	b := newFixWords(16)
+	c := newFixWords(16)
+	a.SetUint(0xdeadbeef)
+	b.SetUint(0x12345)
+	allocs := testing.AllocsPerRun(100, func() {
+		c.SetFix(&a)
+		c.Lsh(67)
+		c.Add(&b)
+		c.Sub(&a)
+		c.DivModSmall(ancode.A)
+		_ = c.Round(-40, NearestEven)
+	})
+	if allocs != 0 {
+		t.Fatalf("fixint steady-state ops allocated %.1f/run, want 0", allocs)
+	}
+}

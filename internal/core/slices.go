@@ -19,6 +19,11 @@ const DefaultVectorMaxPad = 2100
 // buffer feeds the crossbars (§III-A). Negative elements are carried in
 // two's complement: slice Width-1 is the sign slice with weight
 // −2^(Width−1); every other slice j has weight +2^j.
+//
+// A VectorSlices can be reused across calls via SliceVectorInto, which
+// re-slices a new segment into the same bitmaps, popcount slice and
+// integer storage — the allocation-free path the cluster MVM arena
+// takes on every call.
 type VectorSlices struct {
 	Code  BlockCode
 	N     int
@@ -30,41 +35,75 @@ type VectorSlices struct {
 	// Ints are the signed aligned integers (reference values for tests
 	// and for the local processor path).
 	Ints []*big.Int
+
+	// slicesBuf retains every bitmap ever needed so a reused
+	// VectorSlices keeps its widest allocation; Slices is a prefix view.
+	slicesBuf []*xbar.Bitmap
+	// t and mod are the two's-complement scratch integers.
+	t, mod big.Int
 }
 
 // SliceVector aligns and slices a vector segment. maxPad bounds the
 // exponent spread (use DefaultVectorMaxPad unless modeling a hardware
 // buffer limit).
 func SliceVector(vals []float64, maxPad int) (*VectorSlices, error) {
+	vs := new(VectorSlices)
+	if err := SliceVectorInto(vs, vals, maxPad); err != nil {
+		return nil, err
+	}
+	return vs, nil
+}
+
+// SliceVectorInto aligns and slices a vector segment into vs, reusing
+// its bitmaps, popcount slice and integer storage from previous calls.
+// Once vs has seen its widest segment it performs no heap allocations.
+// On error vs is left unusable and must not be fed to a cluster.
+func SliceVectorInto(vs *VectorSlices, vals []float64, maxPad int) error {
 	code, err := NewBlockCode(vals, maxPad)
 	if err != nil {
-		return nil, fmt.Errorf("vector segment: %w", err)
+		return fmt.Errorf("vector segment: %w", err)
 	}
-	vs := &VectorSlices{Code: code, N: len(vals)}
-	vs.Ints = make([]*big.Int, len(vals))
+	vs.Code = code
+	vs.N = len(vals)
+
+	// Reuse the aligned-integer storage (pointers stay stable).
+	for len(vs.Ints) < len(vals) {
+		vs.Ints = append(vs.Ints, new(big.Int))
+	}
+	vs.Ints = vs.Ints[:len(vals)]
 	for i, v := range vals {
-		if code.Empty {
-			vs.Ints[i] = new(big.Int)
-		} else {
-			vs.Ints[i] = code.Encode(v)
-		}
+		code.encodeInto(vs.Ints[i], v)
 	}
 	if code.Empty {
-		return vs, nil
+		vs.Width = 0
+		vs.Slices = vs.slicesBuf[:0]
+		vs.Pop = vs.Pop[:0]
+		return nil
 	}
 	vs.Width = code.Width + 1
-	vs.Slices = make([]*xbar.Bitmap, vs.Width)
-	vs.Pop = make([]int, vs.Width)
-	// Two's complement: T = F mod 2^Width (adds 2^Width to negatives).
-	mod := new(big.Int).Lsh(big.NewInt(1), uint(vs.Width))
-	for j := range vs.Slices {
-		vs.Slices[j] = xbar.NewBitmap(len(vals))
+	for len(vs.slicesBuf) < vs.Width {
+		vs.slicesBuf = append(vs.slicesBuf, xbar.NewBitmap(len(vals)))
 	}
-	t := new(big.Int)
+	vs.Slices = vs.slicesBuf[:vs.Width]
+	for _, s := range vs.Slices {
+		s.Reset(len(vals))
+	}
+	if cap(vs.Pop) < vs.Width {
+		vs.Pop = make([]int, vs.Width)
+	} else {
+		vs.Pop = vs.Pop[:vs.Width]
+		for j := range vs.Pop {
+			vs.Pop[j] = 0
+		}
+	}
+	// Two's complement: T = F mod 2^Width (adds 2^Width to negatives).
+	vs.mod.SetInt64(1)
+	vs.mod.Lsh(&vs.mod, uint(vs.Width))
+	t := &vs.t
 	for i, f := range vs.Ints {
 		t.Set(f)
 		if t.Sign() < 0 {
-			t.Add(t, mod)
+			t.Add(t, &vs.mod)
 		}
 		for j := 0; j < vs.Width; j++ {
 			if t.Bit(j) == 1 {
@@ -73,7 +112,7 @@ func SliceVector(vals []float64, maxPad int) (*VectorSlices, error) {
 			}
 		}
 	}
-	return vs, nil
+	return nil
 }
 
 // Weight returns the signed weight of slice j as w·2^j with w ∈ {+1, −1}:

@@ -1,0 +1,76 @@
+package montecarlo
+
+import (
+	"testing"
+
+	"memsci/internal/device"
+)
+
+// The design-point device probes clean: the batched MVM pre-flight must
+// agree with the exact CSR products to solver-grade precision, and must
+// account the hardware work it spent.
+func TestProbeDesignPointClean(t *testing.T) {
+	s, err := DefaultStudy(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Probe(ProbeConfig{Device: device.TaOx(), Probes: 6, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Probes != 6 {
+		t.Fatalf("Probes = %d", res.Probes)
+	}
+	if res.MaxRel > 1e-9 {
+		t.Fatalf("design-point probe deviated by %g", res.MaxRel)
+	}
+	if res.Stats.Ops == 0 || res.Stats.Conversions == 0 {
+		t.Fatalf("probe recorded no hardware work: %+v", res.Stats)
+	}
+}
+
+// A probe must be deterministic for a given seed, independent of the
+// study's parallelism (ApplyBatch's bit-identity guarantee surfacing at
+// the Monte-Carlo layer).
+func TestProbeDeterministicAcrossParallelism(t *testing.T) {
+	s, err := DefaultStudy(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Parallelism = 1
+	a, err := s.Probe(ProbeConfig{Device: device.TaOx(), Probes: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Parallelism = 4
+	b, err := s.Probe(ProbeConfig{Device: device.TaOx(), Probes: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxRel != b.MaxRel || a.MeanRel != b.MeanRel {
+		t.Fatalf("probe depends on parallelism: %+v vs %+v", a, b)
+	}
+}
+
+// A degraded device must register nonzero deviation in the probe — the
+// cheap screen that motivates it.
+func TestProbeDegradedDeviceDeviates(t *testing.T) {
+	s, err := DefaultStudy(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := device.TaOx()
+	dev.BitsPerCell = 2
+	dev.DynamicRange = 100
+	dev.ProgError = 0.05
+	res, err := s.Probe(ProbeConfig{Device: dev, Probes: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxRel == 0 {
+		t.Fatal("degraded device probed perfectly clean")
+	}
+	if _, err := s.Probe(ProbeConfig{Device: dev, Probes: 0}); err == nil {
+		t.Fatal("Probes=0 accepted")
+	}
+}

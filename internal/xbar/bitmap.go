@@ -86,6 +86,33 @@ func (b *Bitmap) Clear() {
 	}
 }
 
+// Reset resizes the bitmap to n bits and clears it, reusing the word
+// storage whenever capacity allows — the reuse primitive behind the
+// cluster scratch arenas, which re-slice the same bitmaps on every
+// MulVec instead of allocating fresh ones.
+func (b *Bitmap) Reset(n int) {
+	if n < 0 {
+		panic("xbar: negative bitmap length")
+	}
+	need := (n + 63) / 64
+	if cap(b.words) < need {
+		b.words = make([]uint64, need)
+	} else {
+		b.words = b.words[:need]
+		for i := range b.words {
+			b.words[i] = 0
+		}
+	}
+	b.n = n
+}
+
+// CopyFrom overwrites b with x's length and contents, reusing b's word
+// storage when it is large enough.
+func (b *Bitmap) CopyFrom(x *Bitmap) {
+	b.Reset(x.n)
+	copy(b.words, x.words)
+}
+
 // Words exposes the raw word storage for fused multi-bitmap operations.
 func (b *Bitmap) Words() []uint64 { return b.words }
 

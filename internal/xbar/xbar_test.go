@@ -243,3 +243,58 @@ func TestColumnWithIdealDevice(t *testing.T) {
 		t.Errorf("ideal device changed count: %d vs %d", got.Count, want.Count)
 	}
 }
+
+func TestBitmapResetReusesStorage(t *testing.T) {
+	b := NewBitmap(130)
+	for i := 0; i < 130; i += 3 {
+		b.Set(i, true)
+	}
+	words := &b.words[0]
+	b.Reset(100) // shrink: same storage, all clear
+	if b.Len() != 100 || b.PopCount() != 0 {
+		t.Fatalf("after Reset(100): len=%d pop=%d", b.Len(), b.PopCount())
+	}
+	if &b.words[0] != words {
+		t.Error("shrinking Reset reallocated word storage")
+	}
+	b.Set(99, true)
+	b.Reset(700) // grow past capacity: fresh storage, still clear
+	if b.Len() != 700 || b.PopCount() != 0 {
+		t.Fatalf("after Reset(700): len=%d pop=%d", b.Len(), b.PopCount())
+	}
+	allocs := testing.AllocsPerRun(50, func() { b.Reset(650) })
+	if allocs != 0 {
+		t.Errorf("within-capacity Reset allocated %.1f/run", allocs)
+	}
+}
+
+func TestBitmapResetNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset(-1) did not panic")
+		}
+	}()
+	NewBitmap(4).Reset(-1)
+}
+
+func TestBitmapCopyFrom(t *testing.T) {
+	src := NewBitmap(90)
+	for _, i := range []int{0, 13, 63, 64, 89} {
+		src.Set(i, true)
+	}
+	dst := NewBitmap(200)
+	dst.Set(150, true)
+	dst.CopyFrom(src)
+	if dst.Len() != 90 || dst.PopCount() != src.PopCount() {
+		t.Fatalf("CopyFrom: len=%d pop=%d", dst.Len(), dst.PopCount())
+	}
+	for i := 0; i < 90; i++ {
+		if dst.Get(i) != src.Get(i) {
+			t.Fatalf("bit %d mismatch", i)
+		}
+	}
+	dst.Set(1, true)
+	if src.Get(1) {
+		t.Error("CopyFrom aliased source storage")
+	}
+}
