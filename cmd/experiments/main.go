@@ -14,6 +14,7 @@
 //	experiments -run fig13       sensitivity to programming error (Figure 13)
 //	experiments -run area        system area footprint (§VIII-C)
 //	experiments -run endurance   system lifetime (§VIII-E)
+//	experiments -run reliability drift -> AN detection -> online refresh loop (§IV-E)
 //	experiments -run ablation    per-technique gains (§IV, §V-B2)
 //	experiments -run direct      direct-method fill-in (§II-B)
 //	experiments -run motivation  low-precision datapaths stall (§I)
@@ -80,7 +81,7 @@ func (o *options) closeTrace() {
 
 func main() {
 	var opt options
-	flag.StringVar(&opt.run, "run", "all", "experiment to run (table1|table2|table3|fig6..fig13|area|endurance|ablation|direct|all)")
+	flag.StringVar(&opt.run, "run", "all", "experiment to run (table1|table2|table3|fig6..fig13|area|endurance|reliability|ablation|direct|all)")
 	flag.BoolVar(&opt.csv, "csv", false, "emit tables as CSV")
 	flag.IntVar(&opt.trials, "trials", 12, "Monte-Carlo trials for fig12/fig13 (paper: 100)")
 	flag.Float64Var(&opt.scale, "scale", 1.0, "matrix scale factor for the modeling experiments")
@@ -92,26 +93,27 @@ func main() {
 	defer opt.closeTrace()
 
 	runs := map[string]func(*options) error{
-		"table1":     runTable1,
-		"table2":     runTable2,
-		"table3":     runTable3,
-		"fig6":       runFig6,
-		"fig7":       runFig7,
-		"fig8":       runFig8,
-		"fig9":       runFig9,
-		"fig10":      runFig10,
-		"fig11":      runFig11,
-		"fig12":      runFig12,
-		"ablation":   runAblation,
-		"motivation": runMotivation,
-		"direct":     runDirect,
-		"fig13":      runFig13,
-		"area":       runArea,
-		"endurance":  runEndurance,
+		"table1":      runTable1,
+		"table2":      runTable2,
+		"table3":      runTable3,
+		"fig6":        runFig6,
+		"fig7":        runFig7,
+		"fig8":        runFig8,
+		"fig9":        runFig9,
+		"fig10":       runFig10,
+		"fig11":       runFig11,
+		"fig12":       runFig12,
+		"ablation":    runAblation,
+		"motivation":  runMotivation,
+		"direct":      runDirect,
+		"fig13":       runFig13,
+		"area":        runArea,
+		"endurance":   runEndurance,
+		"reliability": runReliability,
 	}
 	order := []string{"table1", "table2", "table3", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "area", "endurance",
-		"ablation", "direct", "motivation"}
+		"reliability", "ablation", "direct", "motivation"}
 
 	names := []string{opt.run}
 	if opt.run == "all" {

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"fmt"
+
+	"memsci/internal/accel"
+	"memsci/internal/device"
+	"memsci/internal/montecarlo"
+	"memsci/internal/report"
+)
+
+// runReliability demonstrates the closed reliability loop (§IV-E applied
+// online): a TaOx engine with retention drift and a sprinkling of stuck
+// cells is aged through a ladder of time steps, once open-loop and once
+// with the AN-code-driven refresh policy armed. Open-loop, MVM accuracy
+// decays monotonically with drift; closed-loop, the rising windowed
+// detection rate triggers cluster re-programming and accuracy snaps back
+// to the freshly programmed level, at a write energy cost the table
+// reports. Both runs are deterministic functions of -seed.
+func runReliability(opt *options) error {
+	study, err := montecarlo.DefaultStudy(1, opt.seed)
+	if err != nil {
+		return err
+	}
+	study.Parallelism = opt.par
+
+	// Drift-dominated device: near-linear conductance decay over the
+	// scenario's hours (drift factor (1+t/τ)^−ν ≈ 1 − ν·t/τ for t ≪ τ),
+	// so the open-loop degradation is visible step over step. Stuck-at
+	// faults are left out of the demo on purpose — they are permanent
+	// and would put an unhealable floor under both runs (the property
+	// tests cover them).
+	dev := device.TaOx()
+	dev.ProgError = 0.002
+	dev.Faults = device.Faults{
+		DriftNu:  1,
+		DriftTau: 1.44e5, // seconds; ~5% conductance loss per 2h step
+	}
+
+	sc := montecarlo.ScenarioConfig{
+		Device:        dev,
+		Seed:          opt.seed,
+		Steps:         6,
+		StepSeconds:   7200,
+		ProbesPerStep: 8,
+	}
+	open, err := study.RunScenario(sc)
+	if err != nil {
+		return err
+	}
+	policy := accel.DefaultRefreshPolicy()
+	sc.Policy = &policy
+	closed, err := study.RunScenario(sc)
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable("step", "t [h]", "open maxrel", "open detect",
+		"closed maxrel", "closed detect", "refreshes")
+	for i := range open.Steps {
+		o, c := open.Steps[i], closed.Steps[i]
+		t.Add(
+			fmt.Sprintf("%d", o.Step),
+			fmt.Sprintf("%.1f", o.TimeSeconds/3600),
+			fmt.Sprintf("%.2e", o.MaxRel),
+			fmt.Sprintf("%.3f", o.DetectedRate),
+			fmt.Sprintf("%.2e", c.MaxRel),
+			fmt.Sprintf("%.3f", c.DetectedRate),
+			fmt.Sprintf("%d", c.Refreshes),
+		)
+	}
+	emit(t, opt)
+
+	fmt.Printf("\nopen-loop:   maxrel %.2e -> %.2e, final CG true residual %.2e (clean %.2e)\n",
+		open.CleanRel, open.FinalRel, open.FinalSolveRel, open.CleanSolveRel)
+	fmt.Printf("closed-loop: maxrel %.2e -> %.2e, final CG true residual %.2e\n",
+		closed.CleanRel, closed.FinalRel, closed.FinalSolveRel)
+	fmt.Printf("refresh work: %d refreshes, %d cells reprogrammed, %.2f uJ, %.2f ms write time\n",
+		closed.Refresh.Refreshes, closed.Refresh.CellsReprogrammed,
+		closed.Refresh.WriteEnergyJoules*1e6, closed.Refresh.WriteTimeSeconds*1e3)
+	fmt.Println("\nretention drift degrades open-loop accuracy monotonically; the AN-code refresh loop detects and re-programs degraded clusters, restoring accuracy at a bounded write-energy cost")
+	return nil
+}

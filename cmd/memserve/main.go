@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"memsci/internal/accel"
 	"memsci/internal/core"
 	"memsci/internal/parallel"
 	"memsci/internal/serve"
@@ -44,6 +45,8 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
 	seed := flag.Int64("seed", 1, "device-error seed base for programmed engines")
 	inject := flag.Bool("inject-errors", false, "enable the analog device-error model")
+	refresh := flag.Bool("refresh", false, "arm the AN-code-driven online refresh policy on programmed engines")
+	refreshRate := flag.Float64("refresh-rate", 0, "windowed AN detection-rate threshold that triggers a cluster refresh (0 = policy default)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown grace period for in-flight solves")
 	traceRing := flag.Int("trace-ring", 64, "recent solve traces kept for /debug/traces")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
@@ -65,12 +68,22 @@ func main() {
 	ccfg := core.DefaultClusterConfig()
 	ccfg.InjectErrors = *inject
 
+	var policy *accel.RefreshPolicy
+	if *refresh {
+		p := accel.DefaultRefreshPolicy()
+		if *refreshRate > 0 {
+			p.DetectedRate = *refreshRate
+		}
+		policy = &p
+	}
+
 	srv := serve.New(serve.Config{
 		MaxBodyBytes:   *maxBody,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		Cluster:        ccfg,
 		Seed:           *seed,
+		Refresh:        policy,
 		Cache: serve.CacheConfig{
 			MaxClusters:       *maxClusters,
 			PoolSize:          *pool,
@@ -108,6 +121,7 @@ func main() {
 		"pool_size", *pool,
 		"engine_parallelism", parallel.Clamp(*par, 1<<30),
 		"inject_errors", *inject,
+		"refresh", *refresh,
 		"default_timeout", *timeout,
 		"max_timeout", *maxTimeout,
 		"max_body_bytes", *maxBody,

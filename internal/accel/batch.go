@@ -12,15 +12,19 @@ import (
 // hardware would pipeline independent MVM requests through one
 // programmed matrix.
 //
-// Each ys[k] is bit-identical to what e.Apply(ys[k], xs[k]) would
-// produce, regardless of worker count or scheduling: RHS k is computed
-// end to end by a single fork, and Apply's result does not depend on
-// which (fork or origin) engine runs it. (With InjectErrors, every fork
-// replays the configured seed, so each RHS sees the error stream of a
-// freshly programmed accelerator rather than a continuation of the
-// origin's.) Worker statistics are merged back into e's clusters after
-// the join, in fork order, so Stats/TakeStats account for batch work
-// exactly as for serial work.
+// Each ys[k] is bit-identical regardless of worker count or scheduling:
+// RHS k is computed end to end by a single fork, and with InjectErrors
+// every cluster's error sampler is reseeded per RHS from a stream
+// derived from (cluster seed, batch epoch, k) — a pure function of the
+// call sequence and the RHS index, never of which fork ran it. (Forks of
+// the same cluster derive identical streams, so the forked path replays
+// exactly the serial path's draws.) Worker statistics are merged back
+// into e's clusters after the join, in fork order, so Stats/TakeStats
+// account for batch work exactly as for serial work; a batch counts as
+// one operation for the refresh policy, evaluated after the whole batch
+// on both paths. On return the origin's samplers sit at the canonical
+// (epoch, len(xs)) stream, so even bare Apply calls after a batch draw
+// identically whatever the worker count was.
 //
 // ApplyBatch must not run concurrently with Apply or ApplyBatch on the
 // same Engine. ys[k] slices must not alias each other or xs.
@@ -31,11 +35,16 @@ func (e *Engine) ApplyBatch(ys, xs [][]float64) {
 	if len(xs) == 0 {
 		return
 	}
+	epoch := e.batchEpoch
+	e.batchEpoch++
 	workers := parallel.Clamp(e.Parallelism, len(xs))
 	if workers <= 1 {
 		for k := range xs {
-			e.Apply(ys[k], xs[k])
+			e.reseedErrors(epoch, uint64(k))
+			e.applyOnce(ys[k], xs[k])
 		}
+		e.reseedErrors(epoch, uint64(len(xs)))
+		e.maybeRefresh()
 		return
 	}
 	e.ensureBatchForks(workers)
@@ -46,7 +55,8 @@ func (e *Engine) ApplyBatch(ys, xs [][]float64) {
 	parallel.For(workers, workers, func(w int) {
 		eng := e.batchForks[w]
 		for k := w; k < len(xs); k += workers {
-			eng.Apply(ys[k], xs[k])
+			eng.reseedErrors(epoch, uint64(k))
+			eng.applyOnce(ys[k], xs[k])
 		}
 	})
 	for _, f := range e.batchForks[:workers] {
@@ -55,15 +65,28 @@ func (e *Engine) ApplyBatch(ys, xs [][]float64) {
 			f.clusters[i].cluster.ResetStats()
 		}
 	}
+	e.reseedErrors(epoch, uint64(len(xs)))
+	e.maybeRefresh()
+}
+
+// reseedErrors rewinds every cluster's error sampler to the derived
+// stream for RHS k of batch epoch; a no-op without error injection.
+func (e *Engine) reseedErrors(epoch, k uint64) {
+	for _, eb := range e.clusters {
+		eb.cluster.ReseedErrors(epoch, k)
+	}
 }
 
 // ensureBatchForks grows the cached worker-engine pool to n. Forks are
-// created serial (Parallelism 1): batch-level parallelism replaces
-// cluster-level fan-out, not multiplies it.
+// created serial (Parallelism 1) — batch-level parallelism replaces
+// cluster-level fan-out, not multiplies it — and with the refresh policy
+// disarmed: batch work is accounted to the origin after the merge, and
+// the origin alone evaluates the policy, once per batch.
 func (e *Engine) ensureBatchForks(n int) {
 	for len(e.batchForks) < n {
 		f := e.Fork()
 		f.Parallelism = 1
+		f.refresh = nil
 		e.batchForks = append(e.batchForks, f)
 	}
 }

@@ -3,6 +3,7 @@ package accel
 import (
 	"fmt"
 
+	"memsci/internal/ancode"
 	"memsci/internal/blocking"
 	"memsci/internal/core"
 	"memsci/internal/obs"
@@ -26,6 +27,7 @@ type Engine struct {
 	plan     *blocking.Plan
 	clusters []*engineBlock
 	cfg      core.ClusterConfig
+	seedBase int64
 
 	// Parallelism bounds the worker goroutines used to program clusters
 	// (NewEngine), to fan cluster MVMs out (Apply), and to spread a
@@ -42,12 +44,33 @@ type Engine struct {
 	// batchForks are the cached per-worker engines behind ApplyBatch,
 	// grown on demand and reused across batches.
 	batchForks []*Engine
+
+	// refresh, when non-nil, is the online self-healing policy (see
+	// refresh.go); refreshStats accumulates the work it performed.
+	refresh      *RefreshPolicy
+	refreshStats RefreshStats
+	// now is the scenario clock (seconds since programming) driven by
+	// AdvanceTime; refreshOps counts Apply-level operations for the
+	// policy's window and cooldown arithmetic; batchEpoch numbers
+	// ApplyBatch calls for the per-RHS error reseed.
+	now        float64
+	refreshOps uint64
+	batchEpoch uint64
 }
 
 type engineBlock struct {
 	cluster        *core.Cluster
 	rowOff, colOff int
 	rows, cols     int // clipped extent at matrix edges
+
+	// anMark is the AN-stats snapshot at the last refresh-policy
+	// evaluation that consumed this cluster's window; programmedAt is
+	// the scenario time of the cluster's last (re-)programming; and
+	// lastRefreshOp is the refreshOps value of its last refresh (0 =
+	// never), for cooldown enforcement.
+	anMark        ancode.Stats
+	programmedAt  float64
+	lastRefreshOp uint64
 }
 
 // NewEngine programs a preprocessing plan into functional clusters.
@@ -58,7 +81,7 @@ type engineBlock struct {
 // on its index, so the programmed state is independent of worker
 // scheduling.
 func NewEngine(plan *blocking.Plan, cfg core.ClusterConfig, seedBase int64) (*Engine, error) {
-	e := &Engine{plan: plan, cfg: cfg, Parallelism: parallel.DefaultWorkers()}
+	e := &Engine{plan: plan, cfg: cfg, seedBase: seedBase, Parallelism: parallel.DefaultWorkers()}
 	clusters := make([]*engineBlock, len(plan.Blocks))
 	errs := make([]error, len(plan.Blocks))
 	parallel.For(len(plan.Blocks), e.Parallelism, func(idx int) {
@@ -139,6 +162,14 @@ func (e *Engine) Cols() int { return e.plan.Cols }
 // order as the serial path, so the result is bit-identical regardless of
 // worker completion order.
 func (e *Engine) Apply(y, x []float64) {
+	e.applyOnce(y, x)
+	e.maybeRefresh()
+}
+
+// applyOnce is Apply without the refresh-policy evaluation; ApplyBatch
+// uses it so a batch evaluates the policy exactly once regardless of
+// whether it ran on the serial or the forked path.
+func (e *Engine) applyOnce(y, x []float64) {
 	if len(x) != e.plan.Cols || len(y) != e.plan.Rows {
 		panic(fmt.Sprintf("accel: Apply dims y[%d], x[%d] vs %dx%d", len(y), len(x), e.plan.Rows, e.plan.Cols))
 	}
@@ -191,12 +222,18 @@ func (e *Engine) applyParallel(y, x []float64) {
 // itself), which is how the serving layer's engine cache runs parallel
 // requests against one programmed matrix.
 func (e *Engine) Fork() *Engine {
-	n := &Engine{plan: e.plan, cfg: e.cfg, Parallelism: e.Parallelism}
+	n := &Engine{plan: e.plan, cfg: e.cfg, seedBase: e.seedBase, Parallelism: e.Parallelism}
+	// The fork inherits the refresh policy (policies are immutable after
+	// SetRefreshPolicy) and the scenario clock, so serving-layer forks
+	// self-heal their private clusters the same way the origin would.
+	n.refresh = e.refresh
+	n.now = e.now
 	n.clusters = make([]*engineBlock, len(e.clusters))
 	for i, eb := range e.clusters {
 		n.clusters[i] = &engineBlock{
 			cluster: eb.cluster.Fork(),
 			rowOff:  eb.rowOff, colOff: eb.colOff, rows: eb.rows, cols: eb.cols,
+			anMark: eb.anMark, programmedAt: eb.programmedAt,
 		}
 	}
 	n.outs = make([][]float64, len(n.clusters))

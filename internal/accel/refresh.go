@@ -1,0 +1,209 @@
+package accel
+
+import (
+	"memsci/internal/ancode"
+	"memsci/internal/energy"
+)
+
+// RefreshPolicy closes the loop between the AN-code detection statistics
+// the clusters already export and the programming path: when a cluster's
+// windowed detection rate crosses the threshold, just that cluster's
+// block is re-programmed. Re-programming resets retention drift (the
+// cells are rewritten to their nominal levels) but re-pins the same
+// stuck cells and re-draws the same D2D gains — refresh heals decay, not
+// silicon defects — and every refresh is charged cell-write energy and
+// latency, so self-healing shows up honestly in the cost model.
+type RefreshPolicy struct {
+	// Window is the number of Apply operations between policy
+	// evaluations (<= 1 evaluates after every operation).
+	Window int
+	// DetectedRate is the windowed AN detection-rate threshold
+	// (Detected/Total over the window) past which a cluster is
+	// re-programmed.
+	DetectedRate float64
+	// MinDecodes is the minimum number of AN decodes a window must hold
+	// before its rate is considered evidence; tiny windows divide small
+	// counts and would otherwise trigger on noise (or on 0/0).
+	MinDecodes uint64
+	// CooldownOps is the minimum number of Apply operations between two
+	// refreshes of the same cluster, bounding the write-energy a
+	// persistently degraded (e.g. stuck-cell-ridden) cluster can burn.
+	CooldownOps uint64
+	// Energy prices the refresh writes; nil uses energy.Default().
+	Energy *energy.Config
+}
+
+// DefaultRefreshPolicy returns a policy tuned for the drift scenarios of
+// the reliability preset: evaluate every operation, refresh a cluster
+// once 5% of its windowed decodes detect errors (with at least 64
+// decodes of evidence), and allow at most one refresh per cluster per
+// two operations.
+func DefaultRefreshPolicy() RefreshPolicy {
+	return RefreshPolicy{
+		Window:       1,
+		DetectedRate: 0.05,
+		MinDecodes:   64,
+		CooldownOps:  2,
+	}
+}
+
+// RefreshStats accumulates the work the refresh policy performed.
+type RefreshStats struct {
+	// Checks counts per-cluster policy evaluations.
+	Checks uint64
+	// Refreshes counts cluster re-programmings triggered.
+	Refreshes uint64
+	// Failures counts refreshes that could not re-program (the block
+	// was skipped and stays degraded).
+	Failures uint64
+	// CellsReprogrammed counts cells rewritten across all refreshes.
+	CellsReprogrammed uint64
+	// WriteEnergyJoules is the programming energy charged for refreshes.
+	WriteEnergyJoules float64
+	// WriteTimeSeconds is the programming latency charged (clusters
+	// refresh one at a time from the policy's point of view).
+	WriteTimeSeconds float64
+}
+
+// Sub returns the windowed difference s − o between two cumulative
+// snapshots.
+func (s RefreshStats) Sub(o RefreshStats) RefreshStats {
+	return RefreshStats{
+		Checks:            s.Checks - o.Checks,
+		Refreshes:         s.Refreshes - o.Refreshes,
+		Failures:          s.Failures - o.Failures,
+		CellsReprogrammed: s.CellsReprogrammed - o.CellsReprogrammed,
+		WriteEnergyJoules: s.WriteEnergyJoules - o.WriteEnergyJoules,
+		WriteTimeSeconds:  s.WriteTimeSeconds - o.WriteTimeSeconds,
+	}
+}
+
+// SetRefreshPolicy arms (or, with nil, disarms) the online refresh
+// policy. The policy evaluates inside Apply — after the operation's
+// results are merged — so any driver (solver iteration, batched probe,
+// serving layer) gets self-healing without extra plumbing. Disarmed
+// engines pay one nil check per Apply.
+func (e *Engine) SetRefreshPolicy(p *RefreshPolicy) {
+	if p == nil {
+		e.refresh = nil
+		return
+	}
+	cp := *p
+	if cp.Window < 1 {
+		cp.Window = 1
+	}
+	if cp.Energy == nil {
+		def := energy.Default()
+		cp.Energy = &def
+	}
+	e.refresh = &cp
+}
+
+// RefreshStats returns the cumulative refresh work performed so far.
+func (e *Engine) RefreshStats() RefreshStats { return e.refreshStats }
+
+// TakeRefreshStats returns the refresh stats accumulated since the last
+// call and resets the window (the serving layer folds per-request
+// deltas into its /metrics counters).
+func (e *Engine) TakeRefreshStats() RefreshStats {
+	s := e.refreshStats
+	e.refreshStats = RefreshStats{}
+	return s
+}
+
+// AdvanceTime moves the engine's scenario clock forward by dt seconds:
+// every cluster's retention age becomes the time since *its* last
+// programming, so refreshed clusters drift from zero while unrefreshed
+// ones keep aging. Reliability scenarios call this between steps; an
+// engine whose clock never advances models back-to-back operation.
+func (e *Engine) AdvanceTime(dt float64) {
+	e.now += dt
+	for _, eb := range e.clusters {
+		eb.cluster.SetAge(e.now - eb.programmedAt)
+	}
+	// Cached batch forks share the same silicon; keep their clocks in
+	// sync with the clusters they were forked from.
+	for _, f := range e.batchForks {
+		for i, eb := range f.clusters {
+			eb.cluster.SetAge(e.now - e.clusters[i].programmedAt)
+		}
+	}
+}
+
+// Now returns the engine's scenario clock in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// maybeRefresh runs one policy evaluation pass: for each cluster, the
+// AN outcomes accumulated since the cluster's last evaluation form the
+// window; a cluster whose windowed detection rate crosses the threshold
+// (with enough decodes to mean anything) and is out of cooldown is
+// re-programmed in place. Called at the end of Apply and once per
+// ApplyBatch; a nil policy returns immediately.
+func (e *Engine) maybeRefresh() {
+	p := e.refresh
+	if p == nil {
+		return
+	}
+	e.refreshOps++
+	if e.refreshOps%uint64(p.Window) != 0 {
+		return
+	}
+	for i, eb := range e.clusters {
+		cur := eb.cluster.Stats().AN
+		if cur.Total() < eb.anMark.Total() {
+			// The cluster's stats were reset (TakeStats) since the last
+			// evaluation; restart the window rather than underflow it.
+			eb.anMark = ancode.Stats{}
+		}
+		win := cur.Sub(eb.anMark)
+		e.refreshStats.Checks++
+		if win.Total() < p.MinDecodes {
+			continue
+		}
+		eb.anMark = cur // enough evidence: the window is consumed either way
+		if win.DetectedRate() < p.DetectedRate {
+			continue
+		}
+		if eb.lastRefreshOp != 0 && e.refreshOps-eb.lastRefreshOp < p.CooldownOps {
+			continue
+		}
+		e.refreshCluster(i)
+	}
+}
+
+// refreshCluster re-programs cluster i through the same path NewEngine
+// used — same plan, config and per-cluster seed, so the rebuilt planes
+// carry identical stuck masks and D2D gains — then resets its retention
+// age and charges the write cost. The cluster's accumulated compute
+// statistics carry over: a refresh is more work on the same operator,
+// not a new stats window.
+func (e *Engine) refreshCluster(i int) {
+	old := e.clusters[i]
+	fresh, err := buildEngineBlock(e.plan, e.cfg, e.seedBase, i)
+	if err != nil {
+		// Programming succeeded at NewEngine time with identical inputs,
+		// so this is unreachable in practice; account and keep serving
+		// with the degraded cluster rather than killing the solve.
+		e.refreshStats.Failures++
+		return
+	}
+	fresh.cluster.Stats().Merge(old.cluster.Stats())
+	fresh.programmedAt = e.now
+	fresh.cluster.SetAge(0)
+	fresh.anMark = fresh.cluster.Stats().AN
+	fresh.lastRefreshOp = e.refreshOps
+	e.clusters[i] = fresh
+
+	// Cached batch forks still reference the retired cluster; drop them
+	// so the next batch forks the refreshed state.
+	e.batchForks = nil
+
+	p := e.refresh
+	b := old.cluster.Block()
+	cells := uint64(b.M) * uint64(b.N) * uint64(old.cluster.Planes())
+	e.refreshStats.Refreshes++
+	e.refreshStats.CellsReprogrammed += cells
+	e.refreshStats.WriteEnergyJoules += float64(cells) * p.Energy.CellWriteEnergy
+	// Rows program one at a time with all planes in parallel (§VIII-E).
+	e.refreshStats.WriteTimeSeconds += float64(b.M) * p.Energy.CellWriteTime
+}

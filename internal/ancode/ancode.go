@@ -118,6 +118,53 @@ func (s *Stats) Merge(o Stats) {
 // Total returns the number of decodes recorded.
 func (s *Stats) Total() uint64 { return s.OK + s.Corrected + s.Ambiguous + s.Uncorrectable }
 
+// Detected returns the number of decodes with a nonzero syndrome
+// (corrected, ambiguous or uncorrectable) — the quantity the online
+// refresh policy thresholds on.
+func (s *Stats) Detected() uint64 { return s.Corrected + s.Ambiguous + s.Uncorrectable }
+
+// DetectedRate returns Detected/Total, and 0 for an empty window: a
+// cluster that has not decoded anything yet carries no evidence of
+// degradation, and the refresh policy (and the /metrics exposition
+// behind it) must see 0, not NaN.
+func (s *Stats) DetectedRate() float64 {
+	t := s.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Detected()) / float64(t)
+}
+
+// UncorrectableRate returns Uncorrectable/Total with the same empty-
+// window zero guard as DetectedRate.
+func (s *Stats) UncorrectableRate() float64 {
+	t := s.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Uncorrectable) / float64(t)
+}
+
+// Sub returns the windowed difference s − o between two cumulative
+// snapshots (o taken earlier on the same accumulator). Counters that
+// would underflow — o not actually a prefix of s, e.g. after a stats
+// reset — clamp to zero instead of wrapping, so windowed rates degrade
+// to "no evidence" rather than to astronomically large counts.
+func (s *Stats) Sub(o Stats) Stats {
+	sat := func(a, b uint64) uint64 {
+		if a < b {
+			return 0
+		}
+		return a - b
+	}
+	return Stats{
+		OK:            sat(s.OK, o.OK),
+		Corrected:     sat(s.Corrected, o.Corrected),
+		Ambiguous:     sat(s.Ambiguous, o.Ambiguous),
+		Uncorrectable: sat(s.Uncorrectable, o.Uncorrectable),
+	}
+}
+
 // Accuracy returns the fraction of decodes with a certain outcome
 // (OK or uniquely Corrected).
 func (s *Stats) Accuracy() float64 {

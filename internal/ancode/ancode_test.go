@@ -1,6 +1,7 @@
 package ancode
 
 import (
+	"math"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -217,6 +218,52 @@ func TestCheckBitsMatchesPaper(t *testing.T) {
 	maxOperand.Sub(maxOperand, big.NewInt(1))
 	if got := Encode(maxOperand).BitLen(); got > 118+CheckBits-1 {
 		t.Errorf("codeword width %d exceeds %d", got, 118+CheckBits-1)
+	}
+}
+
+// TestStatsWindowRates pins the windowed-rate guards the refresh policy
+// and memserve metrics depend on: empty windows yield rate 0 (never NaN),
+// and Sub saturates instead of wrapping when a counter was reset between
+// snapshots.
+func TestStatsWindowRates(t *testing.T) {
+	cases := []struct {
+		name                string
+		s                   Stats
+		detected            uint64
+		detRate, uncorrRate float64
+	}{
+		{"empty", Stats{}, 0, 0, 0},
+		{"clean only", Stats{OK: 7}, 0, 0, 0},
+		{"all detected", Stats{Corrected: 2, Ambiguous: 1, Uncorrectable: 1}, 4, 1, 0.25},
+		{"mixed", Stats{OK: 6, Corrected: 1, Uncorrectable: 1}, 2, 0.25, 0.125},
+	}
+	for _, tc := range cases {
+		if got := tc.s.Detected(); got != tc.detected {
+			t.Errorf("%s: Detected = %d, want %d", tc.name, got, tc.detected)
+		}
+		if got := tc.s.DetectedRate(); got != tc.detRate || math.IsNaN(got) {
+			t.Errorf("%s: DetectedRate = %v, want %v", tc.name, got, tc.detRate)
+		}
+		if got := tc.s.UncorrectableRate(); got != tc.uncorrRate || math.IsNaN(got) {
+			t.Errorf("%s: UncorrectableRate = %v, want %v", tc.name, got, tc.uncorrRate)
+		}
+	}
+
+	cur := Stats{OK: 10, Corrected: 3, Ambiguous: 1, Uncorrectable: 2}
+	mark := Stats{OK: 4, Corrected: 1, Uncorrectable: 1}
+	win := cur.Sub(mark)
+	if want := (Stats{OK: 6, Corrected: 2, Ambiguous: 1, Uncorrectable: 1}); win != want {
+		t.Fatalf("Sub = %+v, want %+v", win, want)
+	}
+	// Mark taken before a stats reset: every field saturates at zero
+	// rather than wrapping to huge uint64 windows.
+	reset := Stats{OK: 1}
+	win = reset.Sub(cur)
+	if want := (Stats{OK: 0}); win != want {
+		t.Fatalf("saturating Sub = %+v, want %+v", win, want)
+	}
+	if win.DetectedRate() != 0 || win.UncorrectableRate() != 0 {
+		t.Fatalf("post-reset window rates not zero: %v / %v", win.DetectedRate(), win.UncorrectableRate())
 	}
 }
 

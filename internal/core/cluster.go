@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/big"
+	"sync/atomic"
 
 	"memsci/internal/ancode"
 	"memsci/internal/device"
@@ -80,6 +81,12 @@ type ComputeStats struct {
 	ConversionBits uint64
 	// CrossbarActivations counts plane activations (vertical schedule).
 	CrossbarActivations uint64
+	// SaturationClamps counts ADC readouts that fell outside the
+	// physically representable count range and were clamped. Under the
+	// nominal model this never fires; heavy-fault scenarios saturate, and
+	// a silently clamped count under-reports the true error magnitude,
+	// so the event is surfaced as a hardware counter.
+	SaturationClamps uint64
 	// AN aggregates error-correction outcomes.
 	AN ancode.Stats
 	// ColumnSlicesUsed histograms, per MulVec output element, how many
@@ -104,6 +111,7 @@ func (s *ComputeStats) Merge(o *ComputeStats) {
 	s.ConversionsSkipped += o.ConversionsSkipped
 	s.ConversionBits += o.ConversionBits
 	s.CrossbarActivations += o.CrossbarActivations
+	s.SaturationClamps += o.SaturationClamps
 	s.AN.Merge(o.AN)
 }
 
@@ -115,11 +123,12 @@ func (s *ComputeStats) Merge(o *ComputeStats) {
 // the stats pipeline has one place to become observable.
 func (s *ComputeStats) HWCounters() obs.HWCounters {
 	return obs.HWCounters{
-		Slices:         int64(s.VectorSlicesApplied),
-		EarlyTermSaved: int64(s.ConversionsSkipped),
-		ADCConversions: int64(s.Conversions),
-		ANDetected:     int64(s.AN.Corrected + s.AN.Ambiguous + s.AN.Uncorrectable),
-		ANCorrected:    int64(s.AN.Corrected),
+		Slices:           int64(s.VectorSlicesApplied),
+		EarlyTermSaved:   int64(s.ConversionsSkipped),
+		ADCConversions:   int64(s.Conversions),
+		ANDetected:       int64(s.AN.Corrected + s.AN.Ambiguous + s.AN.Uncorrectable),
+		ANCorrected:      int64(s.AN.Corrected),
+		SaturationClamps: int64(s.SaturationClamps),
 	}
 }
 
@@ -152,6 +161,20 @@ type Cluster struct {
 	arr       *device.Array
 	corr      *ancode.Corrector
 	bias      *big.Int
+
+	// noiseSeed seeds this instance's stochastic error stream. The
+	// origin cluster uses cfg.Seed; each fork derives an independent
+	// stream from its parent's seed and a fork sequence number, so
+	// concurrent forks never share (or replay) one generator.
+	noiseSeed int64
+	// forkSeq numbers the forks taken from this instance; atomic because
+	// the serving layer forks lease pools concurrently.
+	forkSeq atomic.Int64
+	// age is the scenario time in seconds since this cluster's planes
+	// were programmed; it positions the retention-drift model.
+	age float64
+	// stuckCells counts cells pinned by the stuck-at fault masks.
+	stuckCells int
 
 	// uMax is 2^UnsignedBits − 1, the AN corrector's per-unit-popcount
 	// range cap.
@@ -197,7 +220,8 @@ func NewCluster(block *Block, cfg ClusterConfig) (*Cluster, error) {
 	}
 
 	if cfg.InjectErrors {
-		c.arr = device.NewArray(cfg.Device, cfg.Seed)
+		c.noiseSeed = cfg.Seed
+		c.arr = device.NewArray(cfg.Device, c.noiseSeed)
 	}
 
 	// Program the planes: every cell (including absent elements) holds
@@ -227,6 +251,9 @@ func NewCluster(block *Block, cfg ClusterConfig) (*Cluster, error) {
 		for _, p := range c.planes {
 			p.ApplyCIC()
 		}
+	}
+	if cfg.InjectErrors && cfg.Device.Faults.Static() {
+		c.applyStaticFaults()
 	}
 	c.adc = xbar.ADC{
 		Resolution: xbar.RequiredResolution(block.N, c.planeBits, cic),
@@ -289,16 +316,20 @@ func addShifted(words []big.Word, shift uint, v uint64) {
 }
 
 // Fork returns a cluster sharing c's programmed state — the encoded
-// bit-slice planes (with CIC inversion), the AN corrector table, the bias
-// and the block — with private scratch and statistics, so the fork costs
-// none of the O(M·N·planes) encode work of NewCluster. The shared state
-// is immutable after NewCluster, and Fork reads none of the mutable
-// fields, so a fork may be taken from, and run MulVec concurrently with,
-// a cluster that is mid-computation. With error injection disabled (the
-// validated design point) a fork is bit-identical to a freshly
-// programmed cluster; with injection enabled it gets a fresh sampler at
-// the configured seed and therefore draws the same error sequence a
-// freshly programmed cluster would.
+// bit-slice planes (with CIC inversion, stuck-at masks and D2D gains),
+// the AN corrector table, the bias and the block — with private scratch
+// and statistics, so the fork costs none of the O(M·N·planes) encode
+// work of NewCluster. The shared state is immutable after NewCluster,
+// and Fork reads none of the mutable fields, so a fork may be taken
+// from, and run MulVec concurrently with, a cluster that is
+// mid-computation. With error injection disabled (the validated design
+// point) a fork is bit-identical to a freshly programmed cluster; with
+// injection enabled it samples an independent error stream derived from
+// the parent's seed and the fork sequence number — concurrent forks
+// never replay one another's draws (previously every fork restarted the
+// configured seed, so supposedly independent Monte-Carlo forks saw
+// perfectly correlated errors). The fork inherits the parent's
+// retention age: it models another read port on the same aging silicon.
 func (c *Cluster) Fork() *Cluster {
 	n := &Cluster{
 		cfg:       c.cfg,
@@ -312,12 +343,56 @@ func (c *Cluster) Fork() *Cluster {
 		uMax:      c.uMax,
 		sumBits:   c.sumBits,
 		redWords:  make([]big.Word, len(c.redWords)),
+		age:       c.age,
 	}
 	n.initArena()
 	if c.cfg.InjectErrors {
-		n.arr = device.NewArray(c.cfg.Device, c.cfg.Seed)
+		n.noiseSeed = device.DeriveSeed(c.noiseSeed, streamFork+uint64(c.forkSeq.Add(1)))
+		n.arr = device.NewArray(c.cfg.Device, n.noiseSeed)
+		n.arr.SetTime(n.age)
 	}
 	return n
+}
+
+// Stream-tag constants separating the derived-seed spaces hanging off
+// one cluster seed: fork streams, per-RHS batch streams, and the static
+// per-plane fault samplers must never collide.
+const (
+	streamFork  = 0x10_0000
+	streamRHS   = 0x20_0000
+	streamStuck = 0x30_0000
+	streamD2D   = 0x40_0000
+)
+
+// SetAge positions the cluster t seconds after its last programming:
+// the retention-drift model decays active-cell conductance accordingly.
+// A cluster without error injection ignores age.
+func (c *Cluster) SetAge(t float64) {
+	c.age = t
+	if c.arr != nil {
+		c.arr.SetTime(t)
+	}
+}
+
+// Age returns the scenario seconds since the planes were programmed.
+func (c *Cluster) Age() float64 { return c.age }
+
+// StuckCells returns the number of cells pinned by the stuck-at fault
+// masks at programming time.
+func (c *Cluster) StuckCells() int { return c.stuckCells }
+
+// ReseedErrors restarts the stochastic error stream at a seed derived
+// from the cluster's base seed, a batch epoch, and a stream index. The
+// multi-RHS batch path reseeds every cluster with (epoch, rhs index)
+// before computing each right-hand side, which makes the error draws a
+// pure function of the RHS position — independent of worker count,
+// scheduling, and of which fork happens to execute it. A no-op without
+// error injection.
+func (c *Cluster) ReseedErrors(epoch, stream uint64) {
+	if c.arr == nil {
+		return
+	}
+	c.arr.Reseed(device.DeriveSeed(device.DeriveSeed(c.cfg.Seed, streamRHS+epoch), stream))
 }
 
 // ResetStats clears the accumulated compute statistics so the next Stats
@@ -348,10 +423,22 @@ func (c *Cluster) Stats() *ComputeStats { return &c.stats }
 // across calls use MulVecInto. (The reference path allocates a fresh
 // slice, but callers must not rely on that.)
 func (c *Cluster) MulVec(x []float64) ([]float64, error) {
+	var (
+		y   []float64
+		err error
+	)
 	if c.cfg.ReferenceMVM {
-		return c.mulVecRef(x)
+		y, err = c.mulVecRef(x)
+	} else {
+		y, err = c.mulVecFix(x)
 	}
-	return c.mulVecFix(x)
+	if c.arr != nil {
+		// Fold the ADC saturation events of this call into the hardware
+		// counters; both MVM paths share the sampler, so the accounting
+		// is identical on either.
+		c.stats.SaturationClamps += c.arr.TakeClamps()
+	}
+	return y, err
 }
 
 // MulVecInto is MulVec writing into a caller-owned destination of

@@ -612,7 +612,16 @@ func TestClusterForkBitIdentical(t *testing.T) {
 
 // With error injection, a fork draws the same error sequence a freshly
 // programmed cluster would (fresh sampler at the configured seed).
-func TestClusterForkFreshErrorSampler(t *testing.T) {
+// TestClusterForkDerivedErrorStreams pins the fork RNG contract: every
+// fork gets its own deterministically derived error stream. Previously
+// all forks replayed cfg.Seed, so concurrent forks (the ApplyBatch
+// worker pool, the serving layer's lease pool) drew *correlated* error
+// sequences — a Monte-Carlo sample of N forks held far fewer than N
+// independent draws. Forks are now seeded by DeriveSeed(origin,
+// streamFork+i), which is (a) distinct per fork and from the origin, and
+// (b) a pure function of the origin seed and fork order, so forked
+// execution stays reproducible.
+func TestClusterForkDerivedErrorStreams(t *testing.T) {
 	rng := rand.New(rand.NewSource(78))
 	vals := randBlockVals(rng, 8, 8, 10, 0.8)
 	cfg := DefaultClusterConfig()
@@ -621,22 +630,38 @@ func TestClusterForkFreshErrorSampler(t *testing.T) {
 	cfg.Device.ProgError = 0.01
 
 	base := mustCluster(t, vals, cfg)
-	fresh := mustCluster(t, vals, cfg)
+	twin := mustCluster(t, vals, cfg)
 	x := randVec(rng, 8, 6, 0.9)
 	if _, err := base.MulVec(x); err != nil { // advance base's sampler
 		t.Fatal(err)
 	}
-	want, err := fresh.MulVec(x)
+
+	f1, f2 := base.Fork(), base.Fork()
+	if f1.noiseSeed == base.noiseSeed || f2.noiseSeed == base.noiseSeed {
+		t.Fatalf("fork replays the origin's error stream (seed %d)", base.noiseSeed)
+	}
+	if f1.noiseSeed == f2.noiseSeed {
+		t.Fatalf("sibling forks share error stream %d", f1.noiseSeed)
+	}
+
+	// Reproducibility: fork i of an identical cluster draws the same
+	// stream, regardless of how far the origin's own sampler advanced.
+	g1, g2 := twin.Fork(), twin.Fork()
+	if g1.noiseSeed != f1.noiseSeed || g2.noiseSeed != f2.noiseSeed {
+		t.Fatalf("fork streams not reproducible: (%d,%d) vs (%d,%d)",
+			f1.noiseSeed, f2.noiseSeed, g1.noiseSeed, g2.noiseSeed)
+	}
+	want, err := f1.MulVec(x)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := base.Fork().MulVec(x)
+	got, err := g1.MulVec(x)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := range want {
 		if got[i] != want[i] {
-			t.Fatalf("row %d: fork %x vs fresh %x under injected errors", i, got[i], want[i])
+			t.Fatalf("row %d: fork-of-twin %x vs fork-of-base %x under injected errors", i, got[i], want[i])
 		}
 	}
 }

@@ -45,6 +45,10 @@ type Params struct {
 	// Endurance is the number of write cycles a cell tolerates (§VIII-E
 	// uses a conservative 1e9).
 	Endurance float64
+	// Faults composes the reliability model family (stuck-at cells, D2D
+	// variation, C2C read noise, retention drift) on top of the baseline
+	// error model. The zero value disables every fault model.
+	Faults Faults
 }
 
 // TaOx returns the paper's Table I cell: TaOx, Ron = 2 kΩ, Roff = 3 MΩ
@@ -76,7 +80,7 @@ func (p Params) Validate() error {
 	if p.ProgError < 0 || p.ProgError > 0.5 {
 		return fmt.Errorf("device: programming error %g outside [0,0.5]", p.ProgError)
 	}
-	return nil
+	return p.Faults.Validate()
 }
 
 // Levels returns the number of distinct storage levels per cell.
@@ -84,8 +88,10 @@ func (p Params) Levels() int { return 1 << p.BitsPerCell }
 
 // Ideal reports whether the model introduces no analog error
 // (infinite-range approximation is never ideal; this is true only when
-// both leakage and programming error are disabled).
-func (p Params) Ideal() bool { return p.ProgError == 0 && math.IsInf(p.DynamicRange, 1) }
+// leakage, programming error and every fault model are disabled).
+func (p Params) Ideal() bool {
+	return p.ProgError == 0 && math.IsInf(p.DynamicRange, 1) && !p.Faults.Enabled()
+}
 
 // Array is a sampled instance of per-cell errors for one crossbar column
 // population. It converts ideal digital column sums into the values an
@@ -101,16 +107,51 @@ func (p Params) Ideal() bool { return p.ProgError == 0 && math.IsInf(p.DynamicRa
 // column total to the nearest integer step.
 type Array struct {
 	p   Params
+	src rand.Source
 	rng *rand.Rand
+	// drift is the current retention-decay factor on the active column
+	// current: 1 for a freshly programmed array, below 1 as SetTime
+	// advances (Faults.DriftFactor).
+	drift float64
+	// clamps counts ADC saturation events: quantized counts that fell
+	// outside the physically representable range and were clamped.
+	// Drained by TakeClamps into the hardware counters — a silent clamp
+	// under-reports the error magnitude of heavy-fault scenarios.
+	clamps uint64
 }
 
 // NewArray creates an error sampler with a deterministic seed.
 func NewArray(p Params, seed int64) *Array {
-	return &Array{p: p, rng: rand.New(rand.NewSource(seed))}
+	src := rand.NewSource(seed)
+	return &Array{p: p, src: src, rng: rand.New(src), drift: 1}
 }
 
 // Params returns the device parameters of the array.
 func (a *Array) Params() Params { return a.p }
+
+// Reseed restarts the stochastic error stream at the given seed without
+// reallocating the generator. Batched multi-RHS execution reseeds with a
+// per-RHS derived seed so the error draws each right-hand side sees are
+// a pure function of its index, independent of worker count or
+// scheduling.
+func (a *Array) Reseed(seed int64) { a.src.Seed(seed) }
+
+// SetTime positions the array at t seconds after its last programming:
+// the retention-drift factor applied to every active column current is
+// recomputed from the fault model. Re-programming resets t to zero.
+func (a *Array) SetTime(t float64) { a.drift = a.p.Faults.DriftFactor(t) }
+
+// DriftFactor returns the currently applied retention-decay factor.
+func (a *Array) DriftFactor() float64 { return a.drift }
+
+// TakeClamps returns the saturation-clamp events recorded since the last
+// call and resets the counter, so callers can fold disjoint windows into
+// their own accumulators.
+func (a *Array) TakeClamps() uint64 {
+	c := a.clamps
+	a.clamps = 0
+	return c
+}
 
 // PerturbCount converts an ideal column sum into the ADC-observed one.
 //
@@ -130,6 +171,20 @@ func (a *Array) Params() Params { return a.p }
 // The returned value equals onSum when the device is error-free and
 // leakage is negligible.
 func (a *Array) PerturbCount(onSum, onCells, offCells int) int {
+	return a.PerturbCountVar(onSum, onCells, offCells, 1)
+}
+
+// PerturbCountVar is PerturbCount with a static per-column conductance
+// gain (the lognormal D2D variation sampled at programming time; 1 when
+// variation is disabled). The retention-drift factor set by SetTime and
+// the per-read C2C fluctuation also scale the active current here, so
+// the full analog observation is
+//
+//	gain·drift·(1 + c2c·N(0,1))·onSum + leak shift + programming noise
+//
+// with every fault knob at its zero value reducing, draw for draw and
+// operation for operation, to the original two-source model.
+func (a *Array) PerturbCountVar(onSum, onCells, offCells int, gain float64) int {
 	p := a.p
 	leak := 1.0 / p.DynamicRange
 	// A level-L cell conducts L unit steps; with B bits per cell a unit
@@ -146,18 +201,34 @@ func (a *Array) PerturbCount(onSum, onCells, offCells int) int {
 	if p.LeakFluctuation > 0 && nominal > 0 {
 		shift = nominal * p.LeakFluctuation * a.rng.NormFloat64()
 	}
-	analog := float64(onSum) + shift
+	on := float64(onSum)
+	if gain != 1 {
+		on *= gain
+	}
+	if a.drift != 1 {
+		on *= a.drift
+	}
+	if p.Faults.C2CSigma > 0 && onSum != 0 {
+		on *= 1 + p.Faults.C2CSigma*a.rng.NormFloat64()
+	}
+	analog := on + shift
 	if p.ProgError > 0 && onCells > 0 {
 		sigma := p.ProgError * float64(p.Levels()-1) * math.Sqrt(float64(onCells))
 		analog += a.rng.NormFloat64() * sigma
 	}
 	q := int(math.RoundToEven(analog))
+	clamped := false
 	if q < 0 {
 		q = 0
+		clamped = true
 	}
 	max := (onCells + offCells) * (a.p.Levels() - 1)
 	if q > max {
 		q = max
+		clamped = true
+	}
+	if clamped {
+		a.clamps++
 	}
 	return q
 }

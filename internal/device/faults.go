@@ -1,0 +1,134 @@
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// Faults is the composable reliability model family layered on top of the
+// baseline cell model: the failure modes real ReRAM arrays exhibit beyond
+// programming error and dynamic-range leakage — stuck-at faults,
+// device-to-device variation, cycle-to-cycle read noise, and retention
+// drift. Every knob defaults to zero, and the zero value disables the
+// corresponding model entirely (no RNG draws, no extra arithmetic), so a
+// Params with a zero Faults behaves bit-identically to the pre-fault
+// model.
+//
+// The static models (stuck masks, D2D gains) are sampled once per plane
+// from seeds derived off the cluster seed, so the same cluster seed
+// always yields the same defective cells — re-programming a degraded
+// cluster heals drift but not the silicon.
+type Faults struct {
+	// StuckAtHRS is the probability that a cell is stuck in the
+	// high-resistance (off) state: whatever level is programmed, it reads
+	// level 0. Sampled per cell at programming time; re-programming the
+	// same cluster hits the same stuck cells.
+	StuckAtHRS float64
+	// StuckAtLRS is the probability that a cell is stuck in the
+	// low-resistance (fully on) state: it always reads the maximum level.
+	StuckAtLRS float64
+	// D2DSigma is the sigma of the lognormal device-to-device conductance
+	// spread, applied as a static per-column relative gain on the analog
+	// column current (the fabrication-time component of variation).
+	D2DSigma float64
+	// C2CSigma is the per-read relative fluctuation of the active column
+	// current (cycle-to-cycle variation; fresh draw every conversion).
+	C2CSigma float64
+	// DriftNu is the retention-drift exponent: the programmed conductance
+	// decays as (1 + t/DriftTau)^-DriftNu with time t since programming.
+	// Zero disables drift.
+	DriftNu float64
+	// DriftTau is the drift onset time constant in seconds (how long a
+	// freshly programmed cell holds its level before decay sets in).
+	// Defaults to 1 s when DriftNu > 0 and DriftTau is unset.
+	DriftTau float64
+}
+
+// Enabled reports whether any fault model is active.
+func (f Faults) Enabled() bool {
+	return f.StuckAtHRS > 0 || f.StuckAtLRS > 0 || f.D2DSigma > 0 ||
+		f.C2CSigma > 0 || f.DriftNu > 0
+}
+
+// Static reports whether the model includes programming-time components
+// (stuck masks or D2D gains) that must be sampled when the cluster is
+// built.
+func (f Faults) Static() bool {
+	return f.StuckAtHRS > 0 || f.StuckAtLRS > 0 || f.D2DSigma > 0
+}
+
+// Validate checks the fault parameters for physical consistency.
+func (f Faults) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"stuck-at-HRS probability", f.StuckAtHRS},
+		{"stuck-at-LRS probability", f.StuckAtLRS},
+	} {
+		if math.IsNaN(p.v) || p.v < 0 || p.v > 1 {
+			return fmt.Errorf("device: %s %g outside [0,1]", p.name, p.v)
+		}
+	}
+	if f.StuckAtHRS+f.StuckAtLRS > 1 {
+		return fmt.Errorf("device: stuck-at probabilities sum to %g > 1", f.StuckAtHRS+f.StuckAtLRS)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"D2D sigma", f.D2DSigma},
+		{"C2C sigma", f.C2CSigma},
+		{"drift exponent", f.DriftNu},
+		{"drift time constant", f.DriftTau},
+	} {
+		if math.IsNaN(p.v) || math.IsInf(p.v, 0) || p.v < 0 {
+			return fmt.Errorf("device: %s %g must be finite and non-negative", p.name, p.v)
+		}
+	}
+	if f.D2DSigma > 2 {
+		return fmt.Errorf("device: D2D sigma %g outside [0,2]", f.D2DSigma)
+	}
+	if f.C2CSigma > 1 {
+		return fmt.Errorf("device: C2C sigma %g outside [0,1]", f.C2CSigma)
+	}
+	if f.DriftNu > 1 {
+		return fmt.Errorf("device: drift exponent %g outside [0,1]", f.DriftNu)
+	}
+	return nil
+}
+
+// DriftFactor returns the multiplicative conductance decay after t
+// seconds of retention: (1 + t/tau)^-nu, clamped to [0,1]. A fresh cell
+// (t = 0) or a drift-free model (nu = 0) returns exactly 1.
+func (f Faults) DriftFactor(t float64) float64 {
+	if f.DriftNu == 0 || t <= 0 {
+		return 1
+	}
+	tau := f.DriftTau
+	if tau <= 0 {
+		tau = 1
+	}
+	d := math.Pow(1+t/tau, -f.DriftNu)
+	if d > 1 {
+		d = 1
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// DeriveSeed maps a base seed and a stream index to an independent
+// derived seed via a splitmix64 finalizer over the golden-gamma
+// increment. Distinct streams of the same base — fork indices, batch RHS
+// indices, per-plane fault samplers — land in statistically independent
+// positions, and the derivation is a pure function, so any consumer that
+// derives by the same (base, stream) pair reproduces the same generator
+// regardless of scheduling.
+func DeriveSeed(base int64, stream uint64) int64 {
+	z := uint64(base) + (stream+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

@@ -1,0 +1,125 @@
+package montecarlo
+
+import (
+	"reflect"
+	"testing"
+
+	"memsci/internal/accel"
+	"memsci/internal/device"
+)
+
+// driftScenario is a drift-dominated aging ladder aggressive enough to
+// show clear open-loop degradation within three steps.
+func driftScenario(seed int64) ScenarioConfig {
+	dev := device.TaOx()
+	dev.ProgError = 0.002
+	dev.Faults = device.Faults{DriftNu: 1, DriftTau: 1.44e5}
+	return ScenarioConfig{
+		Device:        dev,
+		Seed:          seed,
+		Steps:         3,
+		StepSeconds:   14400,
+		ProbesPerStep: 4,
+	}
+}
+
+func TestRunScenarioValidation(t *testing.T) {
+	s, err := DefaultStudy(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []ScenarioConfig{
+		{Device: device.TaOx(), Steps: 0, StepSeconds: 1, ProbesPerStep: 1},
+		{Device: device.TaOx(), Steps: 1, StepSeconds: 0, ProbesPerStep: 1},
+		{Device: device.TaOx(), Steps: 1, StepSeconds: -3, ProbesPerStep: 1},
+		{Device: device.TaOx(), Steps: 1, StepSeconds: 1, ProbesPerStep: 0},
+	} {
+		if _, err := s.RunScenario(bad); err == nil {
+			t.Fatalf("RunScenario accepted invalid config %+v", bad)
+		}
+	}
+}
+
+// TestRunScenarioDeterministic: the whole scenario — probe deviations,
+// detection rates, refresh decisions, final solves — is a pure function
+// of the configuration, including across worker counts.
+func TestRunScenarioDeterministic(t *testing.T) {
+	s, err := DefaultStudy(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := driftScenario(7)
+	policy := accel.DefaultRefreshPolicy()
+	policy.MinDecodes = 16
+	sc.Policy = &policy
+
+	s.Parallelism = 1
+	a, err := s.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config, different results:\n%+v\n%+v", a, b)
+	}
+	s.Parallelism = 4
+	c, err := s.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, c) {
+		t.Fatalf("worker count changed the scenario result:\n%+v\n%+v", a, c)
+	}
+}
+
+// TestRunScenarioSelfHealing: open-loop, drift degrades accuracy step
+// over step; closed-loop with the same seed, the refresh policy fires
+// and the ladder ends at least as accurate as open-loop.
+func TestRunScenarioSelfHealing(t *testing.T) {
+	s, err := DefaultStudy(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := driftScenario(7)
+	open, err := s.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(open.Steps) != sc.Steps {
+		t.Fatalf("got %d steps, want %d", len(open.Steps), sc.Steps)
+	}
+	if open.FinalRel <= 10*open.CleanRel {
+		t.Fatalf("open-loop ladder shows no degradation: clean %v, final %v", open.CleanRel, open.FinalRel)
+	}
+	last := open.Steps[len(open.Steps)-1]
+	if last.DetectedRate == 0 {
+		t.Fatal("open-loop degradation raised no AN detections")
+	}
+	if open.Refresh.Refreshes != 0 {
+		t.Fatalf("unarmed scenario performed %d refreshes", open.Refresh.Refreshes)
+	}
+
+	policy := accel.DefaultRefreshPolicy()
+	policy.MinDecodes = 16
+	sc.Policy = &policy
+	closed, err := s.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closed.Refresh.Refreshes == 0 {
+		t.Fatal("armed scenario never refreshed despite heavy drift")
+	}
+	if closed.Refresh.WriteEnergyJoules <= 0 {
+		t.Fatalf("refresh work charged no energy: %+v", closed.Refresh)
+	}
+	if closed.FinalRel > open.FinalRel {
+		t.Fatalf("closed-loop ended worse than open-loop: %v vs %v", closed.FinalRel, open.FinalRel)
+	}
+	if closed.FinalSolveRel > open.FinalSolveRel {
+		t.Fatalf("closed-loop solve residual worse than open-loop: %v vs %v",
+			closed.FinalSolveRel, open.FinalSolveRel)
+	}
+}

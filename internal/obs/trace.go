@@ -26,16 +26,21 @@ type HWCounters struct {
 	ANDetected int64 `json:"anDetected"`
 	// ANCorrected counts decodes uniquely corrected.
 	ANCorrected int64 `json:"anCorrected"`
+	// SaturationClamps counts ADC readouts clamped at the rail — the
+	// saturation events heavy-fault scenarios produce, which would
+	// otherwise silently under-report error magnitude.
+	SaturationClamps int64 `json:"saturationClamps,omitempty"`
 }
 
 // Sub returns c − o, the delta between two cumulative snapshots.
 func (c HWCounters) Sub(o HWCounters) HWCounters {
 	return HWCounters{
-		Slices:         c.Slices - o.Slices,
-		EarlyTermSaved: c.EarlyTermSaved - o.EarlyTermSaved,
-		ADCConversions: c.ADCConversions - o.ADCConversions,
-		ANDetected:     c.ANDetected - o.ANDetected,
-		ANCorrected:    c.ANCorrected - o.ANCorrected,
+		Slices:           c.Slices - o.Slices,
+		EarlyTermSaved:   c.EarlyTermSaved - o.EarlyTermSaved,
+		ADCConversions:   c.ADCConversions - o.ADCConversions,
+		ANDetected:       c.ANDetected - o.ANDetected,
+		ANCorrected:      c.ANCorrected - o.ANCorrected,
+		SaturationClamps: c.SaturationClamps - o.SaturationClamps,
 	}
 }
 
@@ -46,6 +51,7 @@ func (c *HWCounters) Add(o HWCounters) {
 	c.ADCConversions += o.ADCConversions
 	c.ANDetected += o.ANDetected
 	c.ANCorrected += o.ANCorrected
+	c.SaturationClamps += o.SaturationClamps
 }
 
 // IterationSample is one solver iteration: the relative residual after

@@ -91,6 +91,9 @@ type CacheConfig struct {
 type Cache struct {
 	ccfg core.ClusterConfig
 	seed int64
+	// refresh, when non-nil, is armed on every programmed engine; forks
+	// inherit it through Engine.Fork. Set by serve.New before first use.
+	refresh *accel.RefreshPolicy
 
 	maxClusters int
 	poolSize    int
@@ -241,6 +244,7 @@ func (c *Cache) program(key string, m *sparse.CSR) (*entry, error) {
 	if c.par > 0 {
 		eng.Parallelism = c.par
 	}
+	eng.SetRefreshPolicy(c.refresh)
 	c.programmings.Add(1)
 	weight := eng.Clusters()
 	if weight == 0 {

@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"math"
 	"net/http"
 
+	"memsci/internal/accel"
 	"memsci/internal/obs"
 )
 
@@ -30,6 +32,13 @@ type Metrics struct {
 	// r_k/r_{k-1} (the convergence-rate distribution, §IV).
 	iterations        *obs.Histogram
 	residualReduction *obs.Histogram
+
+	// Online-refresh work (engines with an armed accel.RefreshPolicy):
+	// cluster re-programmings, cells rewritten, and the write energy
+	// charged, folded in per solve from Engine.TakeRefreshStats.
+	refreshes     *obs.Counter
+	refreshCells  *obs.Counter
+	refreshEnergy *obs.Counter // nanojoules; counters are integers
 }
 
 func newMetrics(cache *Cache) *Metrics {
@@ -48,6 +57,12 @@ func newMetrics(cache *Cache) *Metrics {
 			"Solver iterations per solve.", obs.ExpBuckets(1, 2, 14)), // 1 .. 8192
 		residualReduction: reg.Histogram("memserve_residual_reduction",
 			"Per-iteration residual contraction factor r_k/r_k-1.", obs.ExpBuckets(1.0/1024, 2, 12)), // ~0.001 .. 2
+		refreshes: reg.Counter("memserve_refresh_total",
+			"Cluster re-programmings triggered by the online refresh policy."),
+		refreshCells: reg.Counter("memserve_refresh_cells_total",
+			"Crossbar cells rewritten by online refresh."),
+		refreshEnergy: reg.Counter("memserve_refresh_energy_nanojoules_total",
+			"Programming energy charged to online refresh, in nanojoules."),
 	}
 
 	counter := func(name, help string, f func(CacheStats) int64) {
@@ -70,6 +85,13 @@ func newMetrics(cache *Cache) *Metrics {
 	reg.GaugeFunc("memserve_cache_clusters", "Programmed clusters held by resident entries.",
 		func() int64 { return int64(cache.Stats().Clusters) })
 	return m
+}
+
+// noteRefresh folds one solve's refresh-stats delta into the counters.
+func (m *Metrics) noteRefresh(rs accel.RefreshStats) {
+	m.refreshes.Add(int64(rs.Refreshes))
+	m.refreshCells.Add(int64(rs.CellsReprogrammed))
+	m.refreshEnergy.Add(int64(math.Round(rs.WriteEnergyJoules * 1e9)))
 }
 
 // observeTrace folds one finished solve into the convergence histograms.

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"memsci/internal/accel"
 	"memsci/internal/core"
 	"memsci/internal/obs"
 	"memsci/internal/solver"
@@ -36,6 +37,12 @@ type Config struct {
 	Cluster core.ClusterConfig
 	// Seed is the device-error seed base for programmed engines.
 	Seed int64
+	// Refresh, when non-nil, arms the AN-code-driven online refresh
+	// policy on every programmed engine (and, through Engine.Fork, on
+	// every pool fork): clusters whose windowed detection rate crosses
+	// the policy threshold are re-programmed between solves, and the
+	// work appears in /metrics and in per-solve responses.
+	Refresh *accel.RefreshPolicy
 	// Cache sizes the engine cache.
 	Cache CacheConfig
 	// Logger receives structured request and solve logs (nil = discard;
@@ -97,6 +104,7 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg, logger: cfg.Logger}
 	s.cache = NewCache(cfg.Cache, cfg.Cluster, cfg.Seed)
+	s.cache.refresh = cfg.Refresh
 	s.metrics = newMetrics(s.cache)
 	s.traces = obs.NewTraceRing(cfg.TraceRingSize)
 	s.mux = http.NewServeMux()
@@ -174,7 +182,11 @@ type SolveResponse struct {
 	// Hardware is the engine's compute-statistics delta for this solve.
 	Cache    *CacheInfo         `json:"cache,omitempty"`
 	Hardware *core.ComputeStats `json:"hardware,omitempty"`
-	Timings  Timings            `json:"timings_ms"`
+	// Refresh is the online-refresh work the leased engine performed
+	// during this solve (accel backend with an armed policy only;
+	// omitted when no refresh activity occurred).
+	Refresh *accel.RefreshStats `json:"refresh,omitempty"`
+	Timings Timings             `json:"timings_ms"`
 	// RequestID echoes the X-Request-Id header, joining the response to
 	// the access log and the /debug/traces ring.
 	RequestID string `json:"request_id,omitempty"`
@@ -355,9 +367,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var hw *core.ComputeStats
+	var rfs *accel.RefreshStats
 	if lease != nil {
 		st := lease.Engine.TakeStats()
 		hw = &st
+		if rs := lease.Engine.TakeRefreshStats(); rs != (accel.RefreshStats{}) {
+			rfs = &rs
+			s.metrics.noteRefresh(rs)
+		}
 	}
 	s.logger.Info("solve",
 		"id", reqID,
@@ -384,6 +401,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		NNZ:        m.NNZ(),
 		Cache:      cacheInfo,
 		Hardware:   hw,
+		Refresh:    rfs,
 		RequestID:  reqID,
 		Timings: Timings{
 			Parse:   parseMS,

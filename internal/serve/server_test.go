@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"memsci/internal/accel"
 	"memsci/internal/sparse"
 )
 
@@ -248,6 +249,37 @@ func TestServerHealthzAndMetrics(t *testing.T) {
 		"memserve_solve_seconds_count 1",
 		"memserve_solve_iterations_count 1",
 		"# TYPE memserve_residual_reduction histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestMetricsRefreshCounters: refresh work reported by engines surfaces
+// on /metrics (registered at zero, accumulated via noteRefresh).
+func TestMetricsRefreshCounters(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	s.metrics.noteRefresh(accel.RefreshStats{
+		Refreshes: 2, CellsReprogrammed: 100, WriteEnergyJoules: 5e-9,
+	})
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	text := buf.String()
+	for _, want := range []string{
+		"memserve_refresh_total 2",
+		"memserve_refresh_cells_total 100",
+		"memserve_refresh_energy_nanojoules_total 5",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q:\n%s", want, text)

@@ -29,6 +29,12 @@ type Plane struct {
 
 	inverted []bool // CIC flag per output column (single-bit planes only)
 	weight   []int  // Σ stored levels per output column (post-inversion)
+
+	// colGain holds the static per-column conductance gain sampled from
+	// the device-to-device variation model at programming time; nil (the
+	// common case) means no variation, and the hot path pays only a nil
+	// check.
+	colGain []float64
 }
 
 // NewPlane allocates an empty plane.
@@ -120,6 +126,64 @@ func (p *Plane) ApplyCIC() int {
 // Inverted reports whether CIC inverted output column i.
 func (p *Plane) Inverted(i int) bool { return p.inverted[i] }
 
+// SetColumnGain records the static conductance gain of output column i
+// (device-to-device variation; 1 = nominal). Gains multiply the analog
+// active-column current observed by the error model; they are sampled
+// once per plane at programming time from a seed derived off the
+// cluster seed, so they survive re-programming the way real silicon
+// does.
+func (p *Plane) SetColumnGain(i int, g float64) {
+	if p.colGain == nil {
+		p.colGain = make([]float64, p.outputs)
+		for k := range p.colGain {
+			p.colGain[k] = 1
+		}
+	}
+	p.colGain[i] = g
+}
+
+// ColumnGain returns the static conductance gain of output column i
+// (1 when no variation was applied).
+func (p *Plane) ColumnGain(i int) float64 {
+	if p.colGain == nil {
+		return 1
+	}
+	return p.colGain[i]
+}
+
+// ForceStoredLevel overrides the stored (post-CIC) form of the cell at
+// output column i, input row j with the given level, modeling a
+// stuck-at fault: a stuck cell holds its physical state regardless of
+// what the programming pass or the CIC inversion decided to store. The
+// column weight is adjusted so ADC sizing and early-ADC bounds see the
+// faulted array.
+func (p *Plane) ForceStoredLevel(i, j int, level uint8) {
+	if int(level) >= 1<<p.bitsPerCell {
+		panic(fmt.Sprintf("xbar: forced level %d exceeds %d-bit cell", level, p.bitsPerCell))
+	}
+	old := 0
+	for b := 0; b < p.bitsPerCell; b++ {
+		if p.bits[b][i].Get(j) {
+			old |= 1 << b
+		}
+		p.bits[b][i].Set(j, level&(1<<b) != 0)
+	}
+	p.weight[i] += int(level) - old
+}
+
+// StoredLevel reads the raw stored (post-CIC) form of the cell at
+// (i, j), without undoing CIC inversion — the physical state a stuck-at
+// fault pins.
+func (p *Plane) StoredLevel(i, j int) uint8 {
+	var level uint8
+	for b := 0; b < p.bitsPerCell; b++ {
+		if p.bits[b][i].Get(j) {
+			level |= 1 << b
+		}
+	}
+	return level
+}
+
 // StoredOnes returns the stored (post-CIC) level sum of output column i.
 func (p *Plane) StoredOnes(i int) int { return p.weight[i] }
 
@@ -166,7 +230,11 @@ func (p *Plane) Column(i int, x *Bitmap, popX int, arr *device.Array, adc ADC) C
 			onCells = orAndPopCount(p.bits, i, x)
 		}
 		offCells := popX - onCells
-		observed = arr.PerturbCount(stored, onCells, offCells)
+		gain := 1.0
+		if p.colGain != nil {
+			gain = p.colGain[i]
+		}
+		observed = arr.PerturbCountVar(stored, onCells, offCells, gain)
 	}
 
 	lmax := 1<<p.bitsPerCell - 1
