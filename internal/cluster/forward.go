@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// ForwardedHeader marks a request as already forwarded once. A node
+// receiving it always serves locally, so ring disagreement between two
+// processes (e.g. mid-rollout flag drift) degrades to one extra hop, not
+// a forwarding loop.
+const ForwardedHeader = "X-Memsci-Forwarded"
+
+// NodeHeader carries the ID of the node that actually served a request,
+// so clients and tests can see where a forwarded solve landed.
+const NodeHeader = "X-Memsci-Node"
+
+// Forwarder relays HTTP requests to peer nodes with bounded retries and
+// exponential backoff. Only transport failures are retried: a peer that
+// answers — even with 503 — has made an admission decision that must
+// propagate to the client, not be hammered.
+type Forwarder struct {
+	// Client issues the requests (nil = a client with Timeout 0; callers
+	// bound each attempt through the context instead).
+	Client *http.Client
+	// Attempts caps tries per Forward call (< 1 = 3).
+	Attempts int
+	// Backoff is the sleep before the second attempt, doubling each
+	// retry (<= 0 = 50ms).
+	Backoff time.Duration
+}
+
+func (f *Forwarder) client() *http.Client {
+	if f.Client != nil {
+		return f.Client
+	}
+	return http.DefaultClient
+}
+
+func (f *Forwarder) attempts() int {
+	if f.Attempts < 1 {
+		return 3
+	}
+	return f.Attempts
+}
+
+func (f *Forwarder) backoff() time.Duration {
+	if f.Backoff <= 0 {
+		return 50 * time.Millisecond
+	}
+	return f.Backoff
+}
+
+// Forward POSTs body to peer.URL+path, marking it with ForwardedHeader.
+// It returns the peer's response (any status — admission decisions
+// propagate) or an error after exhausting retries on transport failures.
+// The caller owns the response body.
+func (f *Forwarder) Forward(ctx context.Context, peer Peer, path string, body []byte, header http.Header) (*http.Response, error) {
+	var lastErr error
+	backoff := f.backoff()
+	for attempt := 0; attempt < f.attempts(); attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return nil, fmt.Errorf("cluster: forwarding to %s: %w (last transport error: %v)", peer.ID, ctx.Err(), lastErr)
+			}
+			backoff *= 2
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer.URL+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: building forward request to %s: %w", peer.ID, err)
+		}
+		for k, vs := range header {
+			for _, v := range vs {
+				req.Header.Add(k, v)
+			}
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(ForwardedHeader, "1")
+		resp, err := f.client().Do(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, fmt.Errorf("cluster: forwarding to %s (%s) failed after %d attempts: %w",
+		peer.ID, peer.URL, f.attempts(), lastErr)
+}

@@ -1,0 +1,140 @@
+// Package cluster turns a set of memserve processes into one logical
+// solver service. It provides the two primitives the serving layer
+// composes: a consistent-hash ring (Ring) that assigns every engine-cache
+// fingerprint a single owning peer — so each matrix is programmed once
+// cluster-wide and repeat solves land on the node whose cache already
+// holds the programmed engine — and a retrying HTTP forwarder
+// (Forwarder) that non-owner nodes use to relay solves and job
+// submissions to the owner, falling back to a local solve when the owner
+// is unreachable.
+//
+// The peer list is static (flag-configured at process start): the paper's
+// accelerator is a fixed hardware substrate, and the deployment model is
+// a fixed fleet behind a load balancer, not an elastic membership
+// protocol. Consistent hashing still matters with a static list — when an
+// operator removes a dead peer and restarts the fleet, only the keys the
+// dead peer owned move.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/url"
+	"sort"
+	"strings"
+)
+
+// Peer is one memserve process: a stable identifier (the hash-ring
+// identity) and the base URL the forwarder reaches it at.
+type Peer struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// ParsePeers parses a flag-style peer list: comma-separated id=url pairs,
+// e.g. "a=http://10.0.0.1:8080,b=http://10.0.0.2:8080". IDs must be
+// unique and URLs must parse with a scheme and host.
+func ParsePeers(s string) ([]Peer, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var peers []Peer
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, rawurl, ok := strings.Cut(part, "=")
+		if !ok || id == "" || rawurl == "" {
+			return nil, fmt.Errorf("cluster: peer %q is not id=url", part)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("cluster: duplicate peer id %q", id)
+		}
+		seen[id] = true
+		u, err := url.Parse(rawurl)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: peer %q has invalid url %q", id, rawurl)
+		}
+		peers = append(peers, Peer{ID: id, URL: strings.TrimRight(rawurl, "/")})
+	}
+	return peers, nil
+}
+
+// DefaultVirtualNodes is the per-peer point count on the ring. 128 points
+// per peer keeps the maximum/mean ownership ratio within a few percent
+// for small fleets while the ring stays tiny (3 peers = 384 points).
+const DefaultVirtualNodes = 128
+
+// Ring is a consistent-hash ring over a static peer list. It is
+// immutable after construction and safe for concurrent use.
+type Ring struct {
+	peers  []Peer
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	peer int // index into peers
+}
+
+// NewRing builds a ring with vnodes points per peer (vnodes < 1 selects
+// DefaultVirtualNodes). At least one peer is required.
+func NewRing(peers []Peer, vnodes int) (*Ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one peer")
+	}
+	if vnodes < 1 {
+		vnodes = DefaultVirtualNodes
+	}
+	r := &Ring{peers: append([]Peer(nil), peers...)}
+	r.points = make([]ringPoint, 0, len(peers)*vnodes)
+	for i, p := range r.peers {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hashKey(fmt.Sprintf("%s#%d", p.ID, v)), peer: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Identical hash points are broken by peer index so the ring is
+		// deterministic regardless of sort stability.
+		return r.points[a].peer < r.points[b].peer
+	})
+	return r, nil
+}
+
+// hashKey is 64-bit FNV-1a with a splitmix64 finalizer: FNV is cheap and
+// stable across processes and Go versions (unlike maphash), but on short
+// vnode labels like "b#42" its raw output clusters enough to skew ring
+// shares; the avalanche mix restores uniformity.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Owner returns the peer owning key: the first ring point clockwise from
+// the key's hash.
+func (r *Ring) Owner(key string) Peer {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.peers[r.points[i].peer]
+}
+
+// Peers returns the ring's peer list (a copy).
+func (r *Ring) Peers() []Peer { return append([]Peer(nil), r.peers...) }
+
+// Size returns the number of peers.
+func (r *Ring) Size() int { return len(r.peers) }

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("a=http://h1:8080, b=http://h2:8080/,c=https://h3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Peer{{"a", "http://h1:8080"}, {"b", "http://h2:8080"}, {"c", "https://h3"}}
+	if len(peers) != len(want) {
+		t.Fatalf("got %d peers, want %d", len(peers), len(want))
+	}
+	for i := range want {
+		if peers[i] != want[i] {
+			t.Errorf("peer %d: got %+v want %+v", i, peers[i], want[i])
+		}
+	}
+	if p, err := ParsePeers(""); err != nil || p != nil {
+		t.Errorf("empty list: got %v, %v", p, err)
+	}
+	for _, bad := range []string{"a", "a=", "=u", "a=http://h,a=http://h2", "a=:no-scheme"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q): expected error", bad)
+		}
+	}
+}
+
+func TestRingDeterministicAndTotal(t *testing.T) {
+	peers, _ := ParsePeers("a=http://h1,b=http://h2,c=http://h3")
+	r1, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewRing(peers, 0)
+	counts := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		key := fmt.Sprintf("sha256:%064x", i)
+		o := r1.Owner(key)
+		if o2 := r2.Owner(key); o2 != o {
+			t.Fatalf("rings disagree on %s: %v vs %v", key, o, o2)
+		}
+		counts[o.ID]++
+	}
+	// 128 vnodes keep the spread loose but every peer must own a real
+	// share — a peer owning < 10% of keys means the ring is broken.
+	for _, p := range peers {
+		if counts[p.ID] < 300 {
+			t.Errorf("peer %s owns only %d/3000 keys", p.ID, counts[p.ID])
+		}
+	}
+}
+
+func TestRingStabilityOnPeerRemoval(t *testing.T) {
+	all, _ := ParsePeers("a=http://h1,b=http://h2,c=http://h3")
+	full, _ := NewRing(all, 0)
+	reduced, _ := NewRing(all[:2], 0) // peer c removed
+	moved := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := full.Owner(key)
+		after := reduced.Owner(key)
+		if before.ID != "c" && before != after {
+			t.Fatalf("key %s moved from surviving peer %s to %s", key, before.ID, after.ID)
+		}
+		if before.ID == "c" {
+			moved++
+		}
+	}
+	if moved == 0 || moved == n {
+		t.Fatalf("peer c owned %d/%d keys; expected a proper subset", moved, n)
+	}
+}
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty ring: expected error")
+	}
+}
+
+func TestForwarderRetriesThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(ForwardedHeader) != "1" {
+			t.Error("forwarded request missing marker header")
+		}
+		if calls.Add(1) < 3 {
+			// Simulate a transport failure by hijacking and closing.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("no hijacker")
+			}
+			conn, _, _ := hj.Hijack()
+			conn.Close()
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{"ok":true}`)
+	}))
+	defer ts.Close()
+
+	f := &Forwarder{Attempts: 4, Backoff: time.Millisecond}
+	resp, err := f.Forward(context.Background(), Peer{ID: "p", URL: ts.URL}, "/solve", []byte(`{}`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+}
+
+func TestForwarderNoRetryOnHTTPError(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	f := &Forwarder{Attempts: 3, Backoff: time.Millisecond}
+	resp, err := f.Forward(context.Background(), Peer{ID: "p", URL: ts.URL}, "/solve", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 to propagate", resp.StatusCode)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (admission decisions are not retried)", got)
+	}
+}
+
+func TestForwarderUnreachable(t *testing.T) {
+	f := &Forwarder{Attempts: 2, Backoff: time.Millisecond}
+	_, err := f.Forward(context.Background(), Peer{ID: "dead", URL: "http://127.0.0.1:1"}, "/solve", nil, nil)
+	if err == nil {
+		t.Fatal("expected error for unreachable peer")
+	}
+}

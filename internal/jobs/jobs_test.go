@@ -1,0 +1,184 @@
+package jobs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestJobLifecycle(t *testing.T) {
+	s := NewStore(StoreConfig{})
+	j, err := s.Create("tenant-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State() != StateQueued {
+		t.Fatalf("state %q, want queued", j.State())
+	}
+	if got := s.Get(j.ID); got != j {
+		t.Fatal("Get did not return the created job")
+	}
+	if s.Get("missing") != nil {
+		t.Fatal("Get(missing) should be nil")
+	}
+	if !j.Start() {
+		t.Fatal("Start on queued job failed")
+	}
+	if j.Start() {
+		t.Fatal("second Start should fail")
+	}
+	j.Finish(StateDone, map[string]int{"iterations": 3}, "")
+	j.Finish(StateFailed, nil, "late") // first writer wins
+	v := j.View()
+	if v.State != StateDone || v.Error != "" || v.Result == nil {
+		t.Fatalf("view %+v", v)
+	}
+	if v.Started.IsZero() || v.Finished.IsZero() || v.QueueMS < 0 {
+		t.Fatalf("timestamps missing in %+v", v)
+	}
+	// Terminal event sealed the log.
+	evs, _, closed := j.Events.Since(0)
+	if !closed || len(evs) != 1 || evs[0].Type != EventDone || evs[0].State != StateDone {
+		t.Fatalf("events %+v closed=%v", evs, closed)
+	}
+}
+
+func TestShedFromQueue(t *testing.T) {
+	s := NewStore(StoreConfig{})
+	j, _ := s.Create("t")
+	j.Finish(StateShed, nil, "queued too long")
+	if j.Start() {
+		t.Fatal("Start after shed should fail")
+	}
+	if v := j.View(); v.State != StateShed || v.QueueMS < 0 {
+		t.Fatalf("view %+v", v)
+	}
+}
+
+func TestStoreCapacityAndTTL(t *testing.T) {
+	s := NewStore(StoreConfig{Capacity: 2, TTL: 10 * time.Millisecond})
+	a, err := s.Create("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create("t"); err != ErrStoreFull {
+		t.Fatalf("err %v, want ErrStoreFull", err)
+	}
+	// Live (non-terminal) jobs never expire.
+	time.Sleep(15 * time.Millisecond)
+	if _, err := s.Create("t"); err != ErrStoreFull {
+		t.Fatalf("err %v, want ErrStoreFull (live jobs must not expire)", err)
+	}
+	// A terminal job frees capacity after its TTL.
+	a.Finish(StateDone, nil, "")
+	time.Sleep(15 * time.Millisecond)
+	if _, err := s.Create("t"); err != nil {
+		t.Fatalf("create after TTL sweep: %v", err)
+	}
+	if s.Get(a.ID) != nil {
+		t.Fatal("swept job still resident")
+	}
+	if n := s.Len(); n != 2 {
+		t.Fatalf("len %d, want 2", n)
+	}
+}
+
+func TestStoreCounts(t *testing.T) {
+	s := NewStore(StoreConfig{})
+	a, _ := s.Create("t")
+	b, _ := s.Create("t")
+	_, _ = s.Create("t")
+	a.Start()
+	b.Start()
+	b.Finish(StateTimeout, nil, "deadline")
+	c := s.Counts()
+	if c[StateQueued] != 1 || c[StateRunning] != 1 || c[StateTimeout] != 1 {
+		t.Fatalf("counts %+v", c)
+	}
+}
+
+func TestEventLogReplayAndLive(t *testing.T) {
+	l := NewEventLog()
+	l.Append(Event{Type: EventIteration, Iteration: 1, Residual: 0.5})
+	l.Append(Event{Type: EventIteration, Iteration: 2, Residual: 0.25})
+
+	// Late subscriber replays the prefix.
+	evs, next, closed := l.Since(0)
+	if len(evs) != 2 || closed {
+		t.Fatalf("replay %d events closed=%v", len(evs), closed)
+	}
+	// Blocking on next wakes on the following append.
+	done := make(chan Event, 1)
+	go func() {
+		<-next
+		evs, _, _ := l.Since(2)
+		done <- evs[0]
+	}()
+	l.Append(Event{Type: EventIteration, Iteration: 3, Residual: 0.125})
+	select {
+	case e := <-done:
+		if e.Iteration != 3 {
+			t.Fatalf("live event %+v", e)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("subscriber never woke")
+	}
+
+	l.Close(Event{Type: EventDone, State: StateDone})
+	l.Append(Event{Type: EventIteration, Iteration: 4}) // ignored after close
+	evs, _, closed = l.Since(0)
+	if !closed || len(evs) != 4 || evs[3].Type != EventDone {
+		t.Fatalf("after close: %d events closed=%v", len(evs), closed)
+	}
+}
+
+func TestEventLogRetentionCap(t *testing.T) {
+	l := NewEventLog()
+	for i := 0; i < DefaultMaxEvents+100; i++ {
+		l.Append(Event{Type: EventIteration, Iteration: i + 1})
+	}
+	l.Close(Event{Type: EventDone, State: StateDone})
+	evs, _, closed := l.Since(0)
+	if !closed {
+		t.Fatal("not closed")
+	}
+	if len(evs) != DefaultMaxEvents {
+		t.Fatalf("retained %d events, want %d", len(evs), DefaultMaxEvents)
+	}
+	if evs[len(evs)-1].Type != EventDone {
+		t.Fatal("terminal event must always be retained")
+	}
+	if l.Dropped() != 101 {
+		t.Fatalf("dropped %d, want 101", l.Dropped())
+	}
+}
+
+func TestStoreConcurrency(t *testing.T) {
+	s := NewStore(StoreConfig{Capacity: 10000})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				j, err := s.Create("t")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				j.Start()
+				j.Events.Append(Event{Type: EventIteration, Iteration: 1, Residual: 0.1})
+				j.Finish(StateDone, nil, "")
+				s.Get(j.ID).View()
+				s.Counts()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := s.Len(); n != 400 {
+		t.Fatalf("len %d, want 400", n)
+	}
+}

@@ -237,6 +237,57 @@ func TestCacheLeaseWaitRespectsContext(t *testing.T) {
 	l2.Release() // double release is a no-op
 }
 
+// TestCacheEvictionRacesLiveLeases: eviction under capacity pressure
+// must never invalidate an engine another goroutine is mid-Apply on —
+// evicted entries with outstanding leases move to the orphaned pool and
+// stay valid until released. Run under -race, this also checks the
+// eviction bookkeeping against concurrent Acquire/Release.
+func TestCacheEvictionRacesLiveLeases(t *testing.T) {
+	ccfg := core.DefaultClusterConfig()
+	probe := NewCache(CacheConfig{}, ccfg, 1)
+	m1 := testMatrix(t, 128, 8)
+	l, err := probe.Acquire(context.Background(), m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weight := l.Engine.Clusters()
+	l.Release()
+
+	// Room for one entry: every alternating acquisition evicts the other
+	// matrix, frequently while its lease is still applying.
+	c := NewCache(CacheConfig{MaxClusters: weight}, ccfg, 1)
+	mats := []*sparse.CSR{m1, testMatrix(t, 128, 9)}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 4; rep++ {
+				m := mats[(w+rep)%2]
+				l, err := c.Acquire(context.Background(), m.Clone())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				x := testVector(m.Cols(), int64(w))
+				y := make([]float64, m.Rows())
+				l.Engine.Apply(y, x)
+				for _, v := range y {
+					if v != v {
+						t.Error("evicted-entry lease produced NaN")
+						break
+					}
+				}
+				l.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Errorf("no evictions occurred; the race went unexercised: %+v", st)
+	}
+}
+
 func TestCacheEvictionByClusterBound(t *testing.T) {
 	ccfg := core.DefaultClusterConfig()
 	probe := NewCache(CacheConfig{}, ccfg, 1)

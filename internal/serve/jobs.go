@@ -1,0 +1,460 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"memsci/internal/jobs"
+	"memsci/internal/solver"
+)
+
+// JobSubmitResponse is the POST /v1/jobs result: the job handle plus the
+// node that owns it, so clients poll the right process in a sharded
+// deployment (job state lives only on the owning node).
+type JobSubmitResponse struct {
+	ID    string     `json:"id"`
+	State jobs.State `json:"state"`
+	// Node and NodeURL identify the owning process ("" single-node).
+	Node    string `json:"node,omitempty"`
+	NodeURL string `json:"node_url,omitempty"`
+	// StatusURL and EventsURL are the poll and SSE paths on that node.
+	StatusURL string `json:"status_url"`
+	EventsURL string `json:"events_url"`
+}
+
+// JobStatusResponse is the GET /v1/jobs/{id} body: the job snapshot plus
+// the serving node.
+type JobStatusResponse struct {
+	jobs.View
+	Node string `json:"node,omitempty"`
+}
+
+// handleJobSubmit admits an async solve: tenant quota, drain gate,
+// validation, shard routing, then the bounded store + queue. A full
+// queue or store sheds with 503 + Retry-After — the queue is never
+// unbounded.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	tenant := r.Header.Get(apiKeyHeader)
+	if tenant == "" {
+		tenant = anonymousTenant
+	}
+	if !s.checkQuota(w, r, tenant) {
+		return
+	}
+	if s.draining.Load() {
+		w.Header().Set(retryAfterHeaderName, retryAfterSeconds(s.cfg.DrainGrace))
+		s.fail(w, http.StatusServiceUnavailable, "draining: not accepting new jobs")
+		return
+	}
+	spec := s.parseSolveRequest(w, r)
+	if spec == nil {
+		return
+	}
+	if owner, remote := s.shardOwner(r, spec.key); remote {
+		if s.relayToOwner(w, r, spec, owner, "/v1/jobs") {
+			return
+		}
+		// Owner unreachable: degrade to running the job here.
+	}
+
+	job, err := s.store.Create(tenant)
+	if err != nil {
+		s.metrics.sheds.Inc()
+		w.Header().Set(retryAfterHeaderName, retryAfterSeconds(s.cfg.JobTTL))
+		s.fail(w, http.StatusServiceUnavailable, "job store full; retry later")
+		return
+	}
+	s.startWorkers()
+	s.jobsWG.Add(1)
+	item := &queuedJob{job: job, spec: spec, enqueued: time.Now()}
+	if !s.queue.Push(item) {
+		s.jobsWG.Done()
+		job.Finish(jobs.StateShed, nil, "job queue full at submission")
+		s.metrics.sheds.Inc()
+		w.Header().Set(retryAfterHeaderName, retryAfterSeconds(s.estimatedDrain()))
+		s.fail(w, http.StatusServiceUnavailable, "job queue full; retry later")
+		return
+	}
+	s.metrics.jobsSubmitted.Inc()
+	s.logger.Info("job submitted",
+		"id", RequestID(r.Context()), "job", job.ID, "tenant", tenant,
+		"method", spec.method, "backend", spec.backend, "rows", spec.m.Rows(), "key", spec.key)
+	writeJSON(w, http.StatusAccepted, &JobSubmitResponse{
+		ID:        job.ID,
+		State:     jobs.StateQueued,
+		Node:      s.cfg.NodeID,
+		NodeURL:   s.self.URL,
+		StatusURL: "/v1/jobs/" + job.ID,
+		EventsURL: "/v1/jobs/" + job.ID + "/events",
+	})
+}
+
+// handleJobGet polls one job. Jobs live on the node that accepted them;
+// a sharded client follows the node/node_url from submission.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	job := s.store.Get(r.PathValue("id"))
+	if job == nil {
+		s.fail(w, http.StatusNotFound, "unknown job (expired, or owned by another node)")
+		return
+	}
+	writeJSON(w, http.StatusOK, &JobStatusResponse{View: job.View(), Node: s.cfg.NodeID})
+}
+
+// handleJobEvents streams the job's per-iteration trace as Server-Sent
+// Events: one "iteration" event per counted solver iteration (the
+// solver.Monitor feed, replayed from the start for late subscribers) and
+// a final "done" event carrying the terminal state.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	job := s.store.Get(r.PathValue("id"))
+	if job == nil {
+		s.fail(w, http.StatusNotFound, "unknown job (expired, or owned by another node)")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.fail(w, http.StatusInternalServerError, "streaming unsupported by connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	for from := 0; ; {
+		evs, next, closed := job.Events.Since(from)
+		for i := range evs {
+			data, err := json.Marshal(&evs[i])
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", evs[i].Type, data); err != nil {
+				return
+			}
+		}
+		from += len(evs)
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-next:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// startWorkers launches the worker pool on first job submission, so
+// servers that only ever see synchronous traffic (and the many tests
+// that construct them) spawn no goroutines.
+func (s *Server) startWorkers() {
+	s.workersOnce.Do(func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		s.workerCancel = cancel
+		for i := 0; i < s.cfg.MaxConcurrent; i++ {
+			s.workerWG.Add(1)
+			go func() {
+				defer s.workerWG.Done()
+				for {
+					item := s.queue.Pop()
+					if item == nil {
+						return
+					}
+					s.runQueued(ctx, item)
+				}
+			}()
+		}
+	})
+}
+
+// Close stops the worker pool and sheds any still-queued jobs. It is
+// idempotent and safe to call on a server that never started workers.
+func (s *Server) Close() {
+	s.startWorkers() // ensure Once is spent so workers can be torn down
+	for _, item := range s.queue.Close() {
+		item.job.Finish(jobs.StateShed, nil, "server shutting down")
+		s.metrics.sheds.Inc()
+		s.jobsWG.Done()
+	}
+	s.workerCancel()
+	s.workerWG.Wait()
+}
+
+// StartDrain flips the server into draining mode: /readyz answers 503 so
+// load balancers stop routing here, and new job submissions are refused,
+// while queued and running jobs keep executing. Call DrainJobs to wait
+// for them before shutting the listener down.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// DrainJobs blocks until every admitted job reaches a terminal state or
+// ctx expires (the shutdown grace period).
+func (s *Server) DrainJobs(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.jobsWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted with jobs outstanding: %w", ctx.Err())
+	}
+}
+
+// handleReadyz is the load-balancer routing signal, distinct from the
+// /healthz liveness probe: a draining or saturated node is alive (do not
+// restart it) but should receive no new traffic (do not route to it).
+// Routing away at readiness level happens before hard 503 sheds do.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		w.Header().Set(retryAfterHeaderName, retryAfterSeconds(s.cfg.DrainGrace))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case s.queue.Len() >= s.cfg.QueueDepth:
+		w.Header().Set(retryAfterHeaderName, retryAfterSeconds(s.estimatedDrain()))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "saturated"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
+// runQueued executes one dequeued job, first coalescing compatible
+// queued jobs into a multi-RHS batch. Exactly one jobsWG.Done fires per
+// admitted job, whatever path it takes.
+func (s *Server) runQueued(ctx context.Context, item *queuedJob) {
+	batch := []*queuedJob{item}
+	if s.cfg.BatchMax > 1 && batchable(item.spec) {
+		batch = append(batch, s.queue.TakeMatching(func(o *queuedJob) bool {
+			return batchable(o.spec) && compatible(item.spec, o.spec)
+		}, s.cfg.BatchMax-1)...)
+	}
+	defer func() {
+		for range batch {
+			s.jobsWG.Done()
+		}
+	}()
+
+	// Age-based shedding happens at dequeue: a job that waited past the
+	// bound is dropped before consuming a concurrency slot.
+	runnable := batch[:0]
+	for _, it := range batch {
+		wait := time.Since(it.enqueued)
+		s.metrics.queueWait.Observe(wait.Seconds())
+		if s.cfg.MaxQueueAge > 0 && wait > s.cfg.MaxQueueAge {
+			it.job.Finish(jobs.StateShed, nil,
+				fmt.Sprintf("shed: queued %.1fs, bound %s", wait.Seconds(), s.cfg.MaxQueueAge))
+			s.metrics.sheds.Inc()
+			continue
+		}
+		runnable = append(runnable, it)
+	}
+	if len(runnable) == 0 {
+		return
+	}
+
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		for _, it := range runnable {
+			it.job.Finish(jobs.StateShed, nil, "server shutting down")
+			s.metrics.sheds.Inc()
+		}
+		return
+	}
+	defer func() { <-s.sem }()
+
+	if len(runnable) == 1 {
+		s.runJob(ctx, runnable[0])
+		return
+	}
+	s.runBatch(ctx, runnable)
+}
+
+// runJob executes a single async solve, bridging the solver monitor into
+// the job's SSE event log.
+func (s *Server) runJob(ctx context.Context, item *queuedJob) {
+	job := item.job
+	if !job.Start() {
+		return
+	}
+	defer s.recoverJob(job)
+	execCtx, cancel := context.WithTimeout(ctx, s.effectiveTimeout(&item.spec.req))
+	defer cancel()
+	bridge := func(iter int, rn float64) {
+		job.Events.Append(jobs.Event{Type: jobs.EventIteration, Iteration: iter, Residual: rn})
+	}
+	resp, err := s.executeSolve(execCtx, item.spec, job.ID, bridge)
+	s.finishJob(job, resp, err)
+}
+
+// finishJob maps an execution outcome onto the job state machine.
+func (s *Server) finishJob(job *jobs.Job, resp *SolveResponse, err error) {
+	switch {
+	case err == nil:
+		job.Finish(jobs.StateDone, resp, "")
+	case errors.Is(err, context.DeadlineExceeded):
+		job.Finish(jobs.StateTimeout, nil, err.Error())
+	default:
+		job.Finish(jobs.StateFailed, nil, err.Error())
+	}
+}
+
+// recoverJob converts a panicking solve (a diverging job can hand the
+// crossbar pipeline non-finite vectors, which it rejects by panicking)
+// into a failed job instead of a dead worker.
+func (s *Server) recoverJob(job *jobs.Job) {
+	if p := recover(); p != nil {
+		s.logger.Error("job panic", "job", job.ID, "panic", fmt.Sprint(p))
+		job.Finish(jobs.StateFailed, nil, fmt.Sprintf("internal: %v", p))
+	}
+}
+
+// batchable: only accel CG jobs without a trace request coalesce — CG is
+// the lockstep driver CGBatch implements, and the accel backend is where
+// batching pays (one programmed engine, multi-RHS ApplyBatch).
+func batchable(sp *solveSpec) bool {
+	return sp.method == "cg" && sp.backend == "accel" && !sp.req.Trace
+}
+
+// compatible: two jobs may share a batch when they hash to the same
+// cached engine and solve under identical options, so one CGBatch call
+// serves both.
+func compatible(a, b *solveSpec) bool {
+	return a.key == b.key &&
+		a.req.Tol == b.req.Tol &&
+		a.req.MaxIter == b.req.MaxIter &&
+		a.req.Jacobi == b.req.Jacobi &&
+		a.req.TimeoutMS == b.req.TimeoutMS
+}
+
+// runBatch executes coalesced jobs against one leased engine via the
+// lockstep CGBatch driver: the queue converts concurrent demand for the
+// same matrix into multi-RHS ApplyBatch work instead of serialized
+// solves. Per-iteration events still flow to each job's own SSE stream;
+// the engine's hardware-counter window covers the whole batch and is
+// attached to each job's result with the batch size marked, so the
+// attribution is explicit.
+func (s *Server) runBatch(ctx context.Context, batch []*queuedJob) {
+	started := batch[:0]
+	for _, it := range batch {
+		if it.job.Start() {
+			started = append(started, it)
+		}
+	}
+	if len(started) == 0 {
+		return
+	}
+	first := started[0]
+	spec := first.spec
+	failAll := func(err error) {
+		for _, it := range started {
+			s.finishJob(it.job, nil, err)
+		}
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			s.logger.Error("batch panic", "panic", fmt.Sprint(p))
+			failAll(fmt.Errorf("internal: %v", p))
+		}
+	}()
+
+	execCtx, cancel := context.WithTimeout(ctx, s.effectiveTimeout(&spec.req))
+	defer cancel()
+
+	progStart := time.Now()
+	lease, err := s.cache.Acquire(execCtx, spec.m)
+	if err != nil {
+		failAll(err)
+		return
+	}
+	defer lease.Release()
+	lease.Engine.TakeStats()
+	s.metrics.programSeconds.Observe(time.Since(progStart).Seconds())
+	programMS := msSince(progStart)
+
+	opt := solver.Options{Tol: spec.req.Tol, MaxIter: spec.req.MaxIter, Ctx: execCtx}
+	if opt.Tol == 0 {
+		opt.Tol = 1e-8
+	}
+	if spec.req.Jacobi {
+		opt.Diag = spec.m.Diagonal()
+	}
+	bs := make([][]float64, len(started))
+	monitors := make([]solver.Monitor, len(started))
+	for i, it := range started {
+		bs[i] = it.spec.b
+		log := it.job.Events
+		monitors[i] = func(iter int, rn float64) {
+			log.Append(jobs.Event{Type: jobs.EventIteration, Iteration: iter, Residual: rn})
+		}
+	}
+
+	solveStart := time.Now()
+	results, err := solver.CGBatch(lease.Engine, bs, opt, monitors)
+	solveSecs := time.Since(solveStart).Seconds()
+	s.metrics.batches.Inc()
+	s.metrics.batchedJobs.Add(int64(len(started)))
+	s.metrics.batchSize.Observe(float64(len(started)))
+
+	st := lease.Engine.TakeStats()
+	timedOut := err != nil && errors.Is(err, context.DeadlineExceeded)
+	if timedOut {
+		s.metrics.timeouts.Add(int64(len(started)))
+	}
+	if rs := lease.Engine.TakeRefreshStats(); rs.Refreshes > 0 {
+		s.metrics.noteRefresh(rs)
+	}
+	for i, it := range started {
+		res := results[i]
+		s.metrics.solveSeconds.Observe(solveSecs)
+		s.metrics.solves.Inc()
+		// Lockstep systems share the context: on cancellation, systems
+		// that already converged still report their result.
+		if err != nil && (res == nil || !res.Converged) {
+			s.finishJob(it.job, nil, err)
+			continue
+		}
+		s.metrics.iterations.Observe(float64(res.Iterations))
+		resp := s.buildBatchResponse(it.spec, res, lease, len(started))
+		resp.Timings = Timings{
+			Parse:   it.spec.parseMS,
+			Program: programMS,
+			Solve:   solveSecs * 1e3,
+			Total:   it.spec.parseMS + programMS + solveSecs*1e3,
+		}
+		resp.Hardware = &st
+		it.job.Finish(jobs.StateDone, resp, "")
+	}
+	s.logger.Info("batch solve",
+		"jobs", len(started), "key", spec.key, "rows", spec.m.Rows(),
+		"cache_hit", lease.Hit, "solve_ms", solveSecs*1e3, "timed_out", timedOut)
+}
+
+// buildBatchResponse assembles a batched job's result. The hardware
+// window is per batch (set by the caller); BatchSize flags that.
+func (s *Server) buildBatchResponse(spec *solveSpec, res *solver.Result, lease *Lease, size int) *SolveResponse {
+	return &SolveResponse{
+		X:          res.X,
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+		Residual:   res.Residual,
+		Breakdown:  res.Breakdown,
+		Method:     spec.method,
+		Backend:    spec.backend,
+		Rows:       spec.m.Rows(),
+		NNZ:        spec.m.NNZ(),
+		Cache:      &CacheInfo{Hit: lease.Hit, Key: lease.Key},
+		Node:       s.cfg.NodeID,
+		BatchSize:  size,
+	}
+}

@@ -69,6 +69,15 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the underlying writer so SSE streaming works through
+// the access-log wrapper (the /v1/jobs/{id}/events handler requires an
+// http.Flusher).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // ServeHTTP tags the request with an ID, dispatches, and emits one
 // structured access-log line. Scrape-style routes (/healthz, /metrics)
 // log at Debug so a 15s Prometheus interval does not drown the solve

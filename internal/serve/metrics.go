@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"memsci/internal/accel"
+	"memsci/internal/jobs"
 	"memsci/internal/obs"
 )
 
@@ -39,6 +40,23 @@ type Metrics struct {
 	refreshes     *obs.Counter
 	refreshCells  *obs.Counter
 	refreshEnergy *obs.Counter // nanojoules; counters are integers
+
+	// Admission control and cluster behavior: every shed, quota denial,
+	// timeout, forward, and fallback is counted so operators can see the
+	// cluster working (or degrading) from /metrics alone.
+	timeouts        *obs.Counter
+	sheds           *obs.Counter
+	quotaDenied     *obs.Counter
+	forwarded       *obs.Counter
+	forwardFallback *obs.Counter
+
+	// Async job flow: submissions, multi-RHS batch executions, and how
+	// long jobs waited in the queue.
+	jobsSubmitted *obs.Counter
+	batches       *obs.Counter
+	batchedJobs   *obs.Counter
+	batchSize     *obs.Histogram
+	queueWait     *obs.Histogram
 }
 
 func newMetrics(cache *Cache) *Metrics {
@@ -63,6 +81,26 @@ func newMetrics(cache *Cache) *Metrics {
 			"Crossbar cells rewritten by online refresh."),
 		refreshEnergy: reg.Counter("memserve_refresh_energy_nanojoules_total",
 			"Programming energy charged to online refresh, in nanojoules."),
+		timeouts: reg.Counter("memserve_solve_timeouts_total",
+			"Solves aborted by the per-solve deadline."),
+		sheds: reg.Counter("memserve_load_sheds_total",
+			"Requests refused by admission control (503 + Retry-After)."),
+		quotaDenied: reg.Counter("memserve_quota_denied_total",
+			"Submissions refused by per-tenant token-bucket quotas (429)."),
+		forwarded: reg.Counter("memserve_forwarded_total",
+			"Requests relayed to the owning peer on the hash ring."),
+		forwardFallback: reg.Counter("memserve_forward_fallback_total",
+			"Forwards that failed and degraded to a local solve."),
+		jobsSubmitted: reg.Counter("memserve_jobs_submitted_total",
+			"Async jobs admitted to the work queue."),
+		batches: reg.Counter("memserve_batches_total",
+			"Multi-RHS batch executions coalesced from compatible queued jobs."),
+		batchedJobs: reg.Counter("memserve_batched_jobs_total",
+			"Jobs executed as members of a multi-RHS batch."),
+		batchSize: reg.Histogram("memserve_batch_size",
+			"Jobs coalesced per batch execution.", obs.ExpBuckets(1, 2, 6)), // 1 .. 32
+		queueWait: reg.Histogram("memserve_job_queue_wait_seconds",
+			"Time async jobs spent queued before a worker picked them up.", obs.ExpBuckets(1e-4, 2, 16)),
 	}
 
 	counter := func(name, help string, f func(CacheStats) int64) {
@@ -85,6 +123,21 @@ func newMetrics(cache *Cache) *Metrics {
 	reg.GaugeFunc("memserve_cache_clusters", "Programmed clusters held by resident entries.",
 		func() int64 { return int64(cache.Stats().Clusters) })
 	return m
+}
+
+// registerClusterFuncs registers scrape-time gauges over the server's
+// admission and job state. Separate from newMetrics because the queue
+// and store hang off the Server, which needs the Metrics first.
+func (m *Metrics) registerClusterFuncs(s *Server) {
+	m.reg.GaugeFunc("memserve_queue_depth", "Async jobs waiting for a worker.",
+		func() int64 { return int64(s.queue.Len()) })
+	for _, st := range []jobs.State{
+		jobs.StateQueued, jobs.StateRunning, jobs.StateDone,
+		jobs.StateFailed, jobs.StateTimeout, jobs.StateShed,
+	} {
+		m.reg.GaugeFunc("memserve_jobs_"+string(st), "Resident async jobs in state "+string(st)+".",
+			func() int64 { return int64(s.store.Counts()[st]) })
+	}
 }
 
 // noteRefresh folds one solve's refresh-stats delta into the counters.

@@ -7,11 +7,15 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
-	"strings"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"memsci/internal/accel"
+	"memsci/internal/cluster"
 	"memsci/internal/core"
+	"memsci/internal/jobs"
 	"memsci/internal/obs"
 	"memsci/internal/solver"
 	"memsci/internal/sparse"
@@ -51,6 +55,53 @@ type Config struct {
 	// TraceRingSize bounds the ring of recent solve traces served by
 	// /debug/traces (0 = 64).
 	TraceRingSize int
+
+	// SolveTimeout, when positive, is a hard per-solve execution
+	// deadline: it caps both synchronous /solve deadlines (including
+	// client-requested ones) and async job execution. Zero leaves sync
+	// solves on DefaultTimeout/MaxTimeout and async jobs on
+	// DefaultTimeout.
+	SolveTimeout time.Duration
+
+	// NodeID and Peers configure consistent-hash sharding. Peers is the
+	// full static cluster membership (including this node); NodeID must
+	// name one of them. With fewer than two peers, sharding is off and
+	// every solve is local. Matrices are owned by the peer the
+	// engine-cache fingerprint hashes to: non-owners forward solves and
+	// job submissions there (programming each matrix once cluster-wide)
+	// and degrade to a local solve when the owner is unreachable.
+	NodeID string
+	Peers  []cluster.Peer
+	// ForwardAttempts / ForwardBackoff tune the peer-forwarding retry
+	// loop (0 = 3 attempts, 50ms initial backoff, doubling).
+	ForwardAttempts int
+	ForwardBackoff  time.Duration
+
+	// MaxConcurrent bounds solves executing at once, sync and async
+	// combined (0 = GOMAXPROCS). QueueDepth bounds waiting work — queued
+	// async jobs, and sync solves waiting for a slot — beyond which
+	// requests are shed with 503 + Retry-After (0 = 64). MaxQueueAge
+	// sheds queued jobs older than the bound at dequeue time (0 = 30s;
+	// negative disables).
+	MaxConcurrent int
+	QueueDepth    int
+	MaxQueueAge   time.Duration
+	// JobCapacity bounds resident async jobs, terminal included
+	// (0 = 4096); JobTTL is how long finished jobs stay pollable
+	// (0 = 10m). BatchMax caps how many compatible queued jobs coalesce
+	// into one multi-RHS CGBatch execution (0 = 8; 1 disables).
+	JobCapacity int
+	JobTTL      time.Duration
+	BatchMax    int
+	// TenantRate, when positive, arms per-tenant token-bucket quotas
+	// keyed by the X-API-Key header: TenantRate solves/second refilling
+	// up to TenantBurst (0 = ceil(rate)); over-quota submissions get
+	// 429 + Retry-After.
+	TenantRate  float64
+	TenantBurst int
+	// DrainGrace is only advisory: the Retry-After hint on responses
+	// refused because the server is draining (0 = 30s).
+	DrainGrace time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -78,14 +129,52 @@ func (c Config) withDefaults() Config {
 	if c.TraceRingSize <= 0 {
 		c.TraceRingSize = 64
 	}
+	if c.ForwardAttempts < 1 {
+		c.ForwardAttempts = 3
+	}
+	if c.ForwardBackoff <= 0 {
+		c.ForwardBackoff = 50 * time.Millisecond
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.MaxQueueAge == 0 {
+		c.MaxQueueAge = DefaultMaxQueueAge
+	}
+	if c.JobCapacity <= 0 {
+		c.JobCapacity = DefaultJobCapacity
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = jobs.DefaultTTL
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = DefaultBatchMax
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 30 * time.Second
+	}
 	return c
 }
 
 // Server is the HTTP solver service. It implements http.Handler with
-// four routes: POST /solve, GET /healthz, GET /metrics, and
-// GET /debug/traces; DebugHandler additionally serves pprof for an
+// the synchronous route POST /solve, the async job API (POST /v1/jobs,
+// GET /v1/jobs/{id}, GET /v1/jobs/{id}/events as SSE), the probes
+// GET /healthz (liveness) and GET /readyz (routability), GET /metrics,
+// and GET /debug/traces; DebugHandler additionally serves pprof for an
 // opt-in debug listener. Every request gets an X-Request-Id and a
 // structured access-log line (see logging.go).
+//
+// Admission control bounds everything: MaxConcurrent solves execute at
+// once (sync and async share the pool), at most QueueDepth requests
+// wait, and past that the server sheds with 503 + Retry-After rather
+// than queue without bound. With Peers configured, the engine-cache
+// fingerprint consistently hashes each matrix to one owning node;
+// non-owners forward and fall back to local solving when the owner is
+// down. Servers that run async jobs hold a worker pool — call Close
+// when discarding the server.
 type Server struct {
 	cfg     Config
 	cache   *Cache
@@ -94,25 +183,123 @@ type Server struct {
 	logger  *slog.Logger
 	mux     *http.ServeMux
 
+	store   *jobs.Store
+	queue   *workQueue
+	sem     chan struct{}
+	tenants *tenantLimiter
+
+	ring *cluster.Ring
+	self cluster.Peer
+	fwd  *cluster.Forwarder
+
+	syncWaiting  atomic.Int64
+	draining     atomic.Bool
+	jobsWG       sync.WaitGroup
+	workersOnce  sync.Once
+	workerCancel context.CancelFunc
+	workerWG     sync.WaitGroup
+
 	// solveHook, when non-nil, runs at the top of handleSolve — a test
-	// seam for exercising the panic-recovery accounting.
+	// seam for exercising the panic-recovery accounting. execHook runs
+	// at the top of executeSolve (sync and async) — the seam for
+	// saturating the execution pool deterministically.
 	solveHook func()
+	execHook  func()
 }
 
-// New builds a Server from the configuration.
+// New builds a Server from the configuration. It panics on an
+// inconsistent cluster configuration (Peers set without a matching
+// NodeID) — a deployment error better caught at startup than at the
+// first misrouted solve.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg, logger: cfg.Logger}
 	s.cache = NewCache(cfg.Cache, cfg.Cluster, cfg.Seed)
 	s.cache.refresh = cfg.Refresh
+	s.store = jobs.NewStore(jobs.StoreConfig{Capacity: cfg.JobCapacity, TTL: cfg.JobTTL})
+	s.queue = newWorkQueue(cfg.QueueDepth)
+	s.sem = make(chan struct{}, cfg.MaxConcurrent)
+	s.tenants = newTenantLimiter(cfg.TenantRate, cfg.TenantBurst)
+
+	if len(cfg.Peers) > 0 {
+		found := false
+		for _, p := range cfg.Peers {
+			if p.ID == cfg.NodeID {
+				s.self = p
+				found = true
+			}
+		}
+		if !found {
+			panic(fmt.Sprintf("serve: node id %q not in peer list", cfg.NodeID))
+		}
+		if len(cfg.Peers) > 1 {
+			ring, err := cluster.NewRing(cfg.Peers, 0)
+			if err != nil {
+				panic(fmt.Sprintf("serve: building hash ring: %v", err))
+			}
+			s.ring = ring
+			s.fwd = &cluster.Forwarder{Attempts: cfg.ForwardAttempts, Backoff: cfg.ForwardBackoff}
+		}
+	}
+
 	s.metrics = newMetrics(s.cache)
+	s.metrics.registerClusterFuncs(s)
 	s.traces = obs.NewTraceRing(cfg.TraceRingSize)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	return s
+}
+
+// Jobs exposes the job store (tests).
+func (s *Server) Jobs() *jobs.Store { return s.store }
+
+// EffectiveConfig reports the fully-defaulted configuration the server
+// runs with, shaped for JSON — the memserve -print-config payload, so
+// operators can see what zero-valued fields resolved to.
+func (s *Server) EffectiveConfig() map[string]any {
+	c := s.cfg
+	peers := make([]map[string]string, 0, len(c.Peers))
+	for _, p := range c.Peers {
+		peers = append(peers, map[string]string{"id": p.ID, "url": p.URL})
+	}
+	return map[string]any{
+		"max_body_bytes":  c.MaxBodyBytes,
+		"max_rows":        c.MaxRows,
+		"max_nnz":         c.MaxNNZ,
+		"default_timeout": c.DefaultTimeout.String(),
+		"max_timeout":     c.MaxTimeout.String(),
+		"solve_timeout":   c.SolveTimeout.String(),
+		"seed":            c.Seed,
+		"inject_errors":   c.Cluster.InjectErrors,
+		"refresh":         c.Refresh != nil,
+		"trace_ring":      c.TraceRingSize,
+		"cache": map[string]any{
+			"max_clusters":       s.cache.maxClusters,
+			"pool_size":          s.cache.poolSize,
+			"engine_parallelism": s.cache.par,
+		},
+		"node_id":          c.NodeID,
+		"peers":            peers,
+		"sharding":         s.ring != nil,
+		"forward_attempts": c.ForwardAttempts,
+		"forward_backoff":  c.ForwardBackoff.String(),
+		"max_concurrent":   c.MaxConcurrent,
+		"queue_depth":      c.QueueDepth,
+		"max_queue_age":    c.MaxQueueAge.String(),
+		"job_capacity":     c.JobCapacity,
+		"job_ttl":          c.JobTTL.String(),
+		"batch_max":        c.BatchMax,
+		"tenant_rate":      c.TenantRate,
+		"tenant_burst":     c.TenantBurst,
+		"drain_grace":      c.DrainGrace.String(),
+	}
 }
 
 // Cache exposes the engine cache (tests and metrics).
@@ -190,6 +377,13 @@ type SolveResponse struct {
 	// RequestID echoes the X-Request-Id header, joining the response to
 	// the access log and the /debug/traces ring.
 	RequestID string `json:"request_id,omitempty"`
+	// Node names the node that executed the solve — with sharding on, a
+	// forwarded response carries the owner's ID, not the entry node's.
+	Node string `json:"node,omitempty"`
+	// BatchSize, when >1, reports that this async job executed as part
+	// of a coalesced multi-RHS batch of that many systems; the Hardware
+	// window then covers the whole batch, not this job alone.
+	BatchSize int `json:"batch_size,omitempty"`
 	// Trace is the per-iteration record, present when the request set
 	// "trace": true.
 	Trace *obs.SolveTrace `json:"trace,omitempty"`
@@ -224,195 +418,42 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.solveHook()
 	}
 
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	var req SolveRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			s.fail(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", tooBig.Limit))
+	spec := s.parseSolveRequest(w, r)
+	if spec == nil {
+		return
+	}
+	if !s.checkQuota(w, r, spec.tenant) {
+		return
+	}
+	if owner, remote := s.shardOwner(r, spec.key); remote {
+		if s.relayToOwner(w, r, spec, owner, "/solve") {
 			return
 		}
-		s.fail(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
-		return
+		// Owner unreachable after retries: degrade to a local solve.
 	}
 
-	coo, _, err := sparse.ReadMatrixMarket(strings.NewReader(req.Matrix))
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, err.Error())
+	release, ok := s.acquireSlot(r.Context())
+	if !ok {
+		s.shedSync(w)
 		return
 	}
-	if coo.Rows != coo.Cols {
-		s.fail(w, http.StatusBadRequest, fmt.Sprintf("system must be square, got %dx%d", coo.Rows, coo.Cols))
-		return
-	}
-	if coo.Rows > s.cfg.MaxRows || coo.NNZ() > s.cfg.MaxNNZ {
-		s.fail(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("system %dx%d with %d entries exceeds limits (%d rows, %d nnz)",
-				coo.Rows, coo.Cols, coo.NNZ(), s.cfg.MaxRows, s.cfg.MaxNNZ))
-		return
-	}
-	m := coo.ToCSR()
-	parseMS := msSince(start)
+	defer release()
 
-	b := req.B
-	if b == nil {
-		b = sparse.Ones(m.Rows())
-	} else if len(b) != m.Rows() {
-		s.fail(w, http.StatusBadRequest, fmt.Sprintf("b has %d entries, system has %d rows", len(b), m.Rows()))
-		return
-	}
-
-	backend := strings.ToLower(req.Backend)
-	if backend == "" {
-		backend = "accel"
-	}
-	if backend != "accel" && backend != "csr" {
-		s.fail(w, http.StatusBadRequest, fmt.Sprintf("unknown backend %q (want accel or csr)", req.Backend))
-		return
-	}
-	method := strings.ToLower(req.Method)
-	if method == "" || method == "auto" {
-		if m.IsSymmetric(1e-12) {
-			method = "cg"
-		} else {
-			method = "bicgstab"
-		}
-	}
-	switch method {
-	case "cg", "bicgstab", "bicg", "gmres":
-	default:
-		s.fail(w, http.StatusBadRequest, fmt.Sprintf("unknown method %q", req.Method))
-		return
-	}
-	if method == "bicg" && backend == "accel" {
-		s.fail(w, http.StatusBadRequest, "bicg needs the transpose operator; use backend csr")
-		return
-	}
-	if req.Jacobi && method != "cg" && method != "bicgstab" {
-		s.fail(w, http.StatusBadRequest, fmt.Sprintf("jacobi preconditioning is not supported by %s", method))
-		return
-	}
-
-	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMS > 0 {
-		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
-		if timeout > s.cfg.MaxTimeout {
-			timeout = s.cfg.MaxTimeout
-		}
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := context.WithTimeout(r.Context(), s.effectiveTimeout(&spec.req))
 	defer cancel()
 
-	opt := solver.Options{
-		Tol:     req.Tol,
-		MaxIter: req.MaxIter,
-		Restart: req.Restart,
-		Ctx:     ctx,
-	}
-	if opt.Tol == 0 {
-		opt.Tol = 1e-8
-	}
-	if req.Jacobi {
-		opt.Diag = m.Diagonal()
-	}
-
-	var op solver.Operator = solver.CSROperator{M: m}
-	var cacheInfo *CacheInfo
-	var lease *Lease
-	progStart := time.Now()
-	if backend == "accel" {
-		lease, err = s.cache.Acquire(ctx, m)
-		if err != nil {
+	resp, err := s.executeSolve(ctx, spec, reqID, nil)
+	if err != nil {
+		// Cache-acquisition failures kept their historical 422 fallback;
+		// solver failures map to 400, context errors to 504/503.
+		if errors.Is(err, errAcquire) {
 			s.failCtx(w, err, http.StatusUnprocessableEntity)
 			return
 		}
-		defer lease.Release()
-		lease.Engine.TakeStats() // discard any stale window
-		op = lease.Engine
-		cacheInfo = &CacheInfo{Hit: lease.Hit, Key: lease.Key}
-		s.metrics.programSeconds.Observe(time.Since(progStart).Seconds())
-	}
-	programMS := msSince(progStart)
-
-	// Every solve is recorded: the recorder baselines the engine's
-	// hardware counters (just reset above) and snapshots a delta per
-	// iteration through the solver Monitor hook, so the per-iteration
-	// deltas sum exactly to the engine's end-of-solve stats window.
-	var sampler func() obs.HWCounters
-	if lease != nil {
-		sampler = lease.Engine.HWCounters
-	}
-	rec := obs.NewRecorder(sampler)
-	opt.Monitor = rec.Observe
-
-	solveStart := time.Now()
-	res, err := runMethod(method, op, m, b, opt)
-	s.metrics.solveSeconds.Observe(time.Since(solveStart).Seconds())
-	s.metrics.solves.Inc()
-
-	var trace *obs.SolveTrace
-	if res != nil {
-		trace = rec.Finish(res.Converged, res.Residual)
-		trace.ID = reqID
-		trace.Method = method
-		trace.Backend = backend
-		trace.Rows = m.Rows()
-		trace.NNZ = m.NNZ()
-		s.traces.Add(trace)
-		s.metrics.iterations.Observe(float64(res.Iterations))
-		s.metrics.observeTrace(trace)
-	}
-	if err != nil {
 		s.failCtx(w, err, http.StatusBadRequest)
 		return
 	}
-	var hw *core.ComputeStats
-	var rfs *accel.RefreshStats
-	if lease != nil {
-		st := lease.Engine.TakeStats()
-		hw = &st
-		if rs := lease.Engine.TakeRefreshStats(); rs != (accel.RefreshStats{}) {
-			rfs = &rs
-			s.metrics.noteRefresh(rs)
-		}
-	}
-	s.logger.Info("solve",
-		"id", reqID,
-		"method", method,
-		"backend", backend,
-		"rows", m.Rows(),
-		"nnz", m.NNZ(),
-		"iterations", res.Iterations,
-		"converged", res.Converged,
-		"residual", res.Residual,
-		"cache_hit", cacheInfo != nil && cacheInfo.Hit,
-		"solve_ms", msSince(solveStart),
-	)
-
-	resp := &SolveResponse{
-		X:          res.X,
-		Iterations: res.Iterations,
-		Converged:  res.Converged,
-		Residual:   res.Residual,
-		Breakdown:  res.Breakdown,
-		Method:     method,
-		Backend:    backend,
-		Rows:       m.Rows(),
-		NNZ:        m.NNZ(),
-		Cache:      cacheInfo,
-		Hardware:   hw,
-		Refresh:    rfs,
-		RequestID:  reqID,
-		Timings: Timings{
-			Parse:   parseMS,
-			Program: programMS,
-			Solve:   msSince(solveStart),
-			Total:   msSince(start),
-		},
-	}
-	if req.Trace {
-		resp.Trace = trace
-	}
+	resp.Timings.Total = msSince(start)
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+
+	"memsci/internal/cluster"
+)
+
+// isForwarded reports whether a peer already relayed this request once;
+// such requests are always served locally (loop prevention) and skip
+// tenant quotas (the entry node charged them).
+func isForwarded(r *http.Request) bool {
+	return r.Header.Get(cluster.ForwardedHeader) != ""
+}
+
+// shardOwner resolves the owning peer for a fingerprint. remote is false
+// when sharding is disabled, this node owns the key, or the request was
+// already forwarded.
+func (s *Server) shardOwner(r *http.Request, key string) (owner cluster.Peer, remote bool) {
+	if s.ring == nil || isForwarded(r) {
+		return s.self, false
+	}
+	owner = s.ring.Owner(key)
+	return owner, owner.ID != s.cfg.NodeID
+}
+
+// relayToOwner forwards the validated request body to the owning peer
+// and, on success, copies the peer's response (any status — the owner's
+// admission decisions propagate) to the client. It returns false when
+// the owner is unreachable after retries; the caller then degrades to a
+// local solve, which re-programs the matrix here but keeps the service
+// answering (counted in memserve_forward_fallback_total).
+func (s *Server) relayToOwner(w http.ResponseWriter, r *http.Request, spec *solveSpec, owner cluster.Peer, path string) bool {
+	hdr := http.Header{}
+	if v := r.Header.Get(apiKeyHeader); v != "" {
+		hdr.Set(apiKeyHeader, v)
+	}
+	resp, err := s.fwd.Forward(r.Context(), owner, path, spec.raw, hdr)
+	if err != nil {
+		s.metrics.forwardFallback.Inc()
+		s.logger.Warn("forward failed; degrading to local solve",
+			"id", RequestID(r.Context()), "owner", owner.ID, "owner_url", owner.URL, "err", err)
+		return false
+	}
+	defer resp.Body.Close()
+	s.metrics.forwarded.Inc()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get(retryAfterHeaderName); ra != "" {
+		w.Header().Set(retryAfterHeaderName, ra)
+	}
+	w.Header().Set(cluster.NodeHeader, owner.ID)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	s.logger.Info("forwarded",
+		"id", RequestID(r.Context()),
+		"path", path,
+		"owner", owner.ID,
+		"status", resp.StatusCode,
+		"key", spec.key,
+	)
+	return true
+}
