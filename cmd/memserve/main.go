@@ -23,7 +23,11 @@
 // while draining or saturated — point load balancers here); GET
 // /metrics exposes latency and iteration histograms plus cache,
 // admission, and cluster counters in Prometheus text format; GET
-// /debug/traces returns recent per-iteration solve traces. With
+// /cluster/metrics federates every peer's /metrics into one node-labeled
+// view; GET /debug/traces returns recent per-iteration solve traces.
+// Every response carries a phase-attributed span tree (disable with
+// -tracing=false); forwarded solves propagate W3C traceparent context so
+// one trace covers both nodes. With
 // -debug-addr set, a second listener serves net/http/pprof (plus the
 // same traces and metrics) for profiling without exposing pprof to
 // solve traffic. Requests carry X-Request-Id and are logged structured
@@ -67,6 +71,7 @@ func main() {
 	refreshRate := flag.Float64("refresh-rate", 0, "windowed AN detection-rate threshold that triggers a cluster refresh (0 = policy default)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown grace period for queued and in-flight solves")
 	traceRing := flag.Int("trace-ring", 64, "recent solve traces kept for /debug/traces")
+	tracing := flag.Bool("tracing", true, "phase-attributed distributed tracing: span trees on responses, traceparent propagation on forwards, exemplars on latency histograms")
 	nodeID := flag.String("node-id", "", "this node's ID in -peers (required when -peers is set)")
 	peersFlag := flag.String("peers", "", "static cluster membership as id=url,... including this node (empty = single node)")
 	fwdAttempts := flag.Int("forward-attempts", 0, "tries per peer-forwarded request before local fallback (0 = 3)")
@@ -137,6 +142,7 @@ func main() {
 		},
 		Logger:          logger,
 		TraceRingSize:   *traceRing,
+		DisableTracing:  !*tracing,
 		NodeID:          *nodeID,
 		Peers:           peers,
 		ForwardAttempts: *fwdAttempts,
@@ -205,6 +211,7 @@ func main() {
 		"tenant_rate", *tenantRate,
 		"max_body_bytes", *maxBody,
 		"trace_ring", *traceRing,
+		"tracing", *tracing,
 	)
 
 	select {

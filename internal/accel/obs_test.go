@@ -22,6 +22,8 @@ func TestRecorderHWDeltasSumToTakeStats(t *testing.T) {
 	eng.TakeStats() // open a fresh window, like the serving layer does
 
 	rec := obs.NewRecorder(eng.HWCounters)
+	span := obs.NewSpan("test", "solve")
+	rec.AttachSpan(span)
 	opt := solver.Options{Tol: 1e-9, Monitor: rec.Observe}
 	b := sparse.Ones(m.Rows())
 	res, err := solver.CG(eng, b, opt)
@@ -47,6 +49,18 @@ func TestRecorderHWDeltasSumToTakeStats(t *testing.T) {
 	}
 	if want.Slices == 0 || want.ADCConversions == 0 {
 		t.Errorf("degenerate window %+v", want)
+	}
+	// The attached span carries the same exact window: phase-level
+	// hardware attribution agrees with both the per-iteration deltas and
+	// the engine's own accounting.
+	if span.HW == nil {
+		t.Fatal("recorder did not attach hardware totals to the span")
+	}
+	if *span.HW != want {
+		t.Errorf("span HW %+v != TakeStats window %+v", *span.HW, want)
+	}
+	if span.Attrs["iterations"] == "" {
+		t.Error("span missing iterations attribute")
 	}
 	// Every iteration performed hardware work (CG does one Apply per
 	// iteration on this path).

@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Metrics federation: GET /cluster/metrics on any ring member scrapes
+// every peer's /metrics and renders one merged Prometheus view with a
+// node="<peer-id>" label injected into every series, so a 3-node ring is
+// observable from any member (or from one Prometheus scrape target)
+// without per-node scrape configs. A peer that fails to answer degrades
+// to memserve_federation_up{node=...} 0 instead of failing the whole
+// merge — partial observability beats none exactly when a node is down.
+
+// NodeMetrics is one node's scrape outcome: its raw /metrics payload, or
+// the error that prevented getting it.
+type NodeMetrics struct {
+	ID   string
+	Text []byte
+	Err  error
+}
+
+// maxScrapeBytes bounds one peer's /metrics payload (a registry render
+// is a few KiB; 8 MiB is a generous ceiling against a misrouted URL).
+const maxScrapeBytes = 8 << 20
+
+// FetchMetrics GETs peer.URL+"/metrics". It never fails the federation:
+// errors are carried in the returned NodeMetrics.
+func FetchMetrics(ctx context.Context, client *http.Client, peer Peer) NodeMetrics {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer.URL+"/metrics", nil)
+	if err != nil {
+		return NodeMetrics{ID: peer.ID, Err: err}
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return NodeMetrics{ID: peer.ID, Err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return NodeMetrics{ID: peer.ID, Err: fmt.Errorf("cluster: scraping %s: status %d", peer.ID, resp.StatusCode)}
+	}
+	text, err := io.ReadAll(io.LimitReader(resp.Body, maxScrapeBytes))
+	if err != nil {
+		return NodeMetrics{ID: peer.ID, Err: err}
+	}
+	return NodeMetrics{ID: peer.ID, Text: text}
+}
+
+// metricFamily groups one metric's HELP/TYPE header with every node's
+// relabeled series, so the merged output keeps each family contiguous
+// (what Prometheus text parsers require) instead of interleaving nodes.
+type metricFamily struct {
+	name      string
+	help, typ string
+	series    []string
+}
+
+// MergeMetrics renders the node-labeled union of the given scrapes. Each
+// series line gains a node="<id>" label (prepended, so existing labels
+// are kept); HELP/TYPE headers are emitted once per family, taken from
+// the first node that provided them. A synthesized
+// memserve_federation_up gauge reports scrape reachability per node, and
+// unreachable nodes contribute only that series.
+func MergeMetrics(nodes []NodeMetrics, w io.Writer) {
+	var order []string
+	fams := map[string]*metricFamily{}
+	fam := func(name string) *metricFamily {
+		f := fams[name]
+		if f == nil {
+			f = &metricFamily{name: name}
+			fams[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+
+	up := fam("memserve_federation_up")
+	up.help = "# HELP memserve_federation_up Whether this node's /metrics scrape succeeded during federation."
+	up.typ = "# TYPE memserve_federation_up gauge"
+
+	for _, n := range nodes {
+		okv := 1
+		if n.Err != nil {
+			okv = 0
+		}
+		up.series = append(up.series, fmt.Sprintf("memserve_federation_up{node=%q} %d", n.ID, okv))
+		if n.Err != nil {
+			continue
+		}
+		var cur *metricFamily
+		sc := bufio.NewScanner(bytes.NewReader(n.Text))
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			line := strings.TrimRight(sc.Text(), " \t")
+			if line == "" {
+				continue
+			}
+			if strings.HasPrefix(line, "#") {
+				fields := strings.Fields(line)
+				if len(fields) >= 3 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+					cur = fam(fields[2])
+					if fields[1] == "HELP" && cur.help == "" {
+						cur.help = line
+					}
+					if fields[1] == "TYPE" && cur.typ == "" {
+						cur.typ = line
+					}
+				}
+				continue // other comments are dropped
+			}
+			// A series belongs to the family its name extends (the
+			// histogram _bucket/_sum/_count case); a stray series with no
+			// preceding header becomes its own family.
+			name := seriesName(line)
+			f := cur
+			if f == nil || !strings.HasPrefix(name, f.name) {
+				f = fam(name)
+				cur = f
+			}
+			f.series = append(f.series, relabelSeries(line, n.ID))
+		}
+	}
+
+	for _, name := range order {
+		f := fams[name]
+		if f.help != "" {
+			fmt.Fprintln(w, f.help)
+		}
+		if f.typ != "" {
+			fmt.Fprintln(w, f.typ)
+		}
+		for _, s := range f.series {
+			fmt.Fprintln(w, s)
+		}
+	}
+}
+
+// seriesName extracts the metric name from a series line (everything up
+// to the label block or the first space).
+func seriesName(line string) string {
+	if i := strings.IndexAny(line, "{ "); i >= 0 {
+		return line[:i]
+	}
+	return line
+}
+
+// relabelSeries prepends node="<id>" to the series' label block,
+// creating one if absent. Everything after the label block — value,
+// timestamp, exemplar suffix — passes through verbatim.
+func relabelSeries(line, node string) string {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return line // no value? pass through untouched
+	}
+	name := line[:i]
+	if line[i] != '{' {
+		return name + fmt.Sprintf("{node=%q}", node) + line[i:]
+	}
+	rest := line[i+1:]
+	if strings.HasPrefix(rest, "}") { // empty label block
+		return name + fmt.Sprintf("{node=%q", node) + rest
+	}
+	return name + fmt.Sprintf("{node=%q,", node) + rest
+}

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMergeMetricsRelabelsAndDedupsHeaders(t *testing.T) {
+	a := "# HELP up_total Requests.\n# TYPE up_total counter\nup_total 3\n"
+	b := "# HELP up_total Requests.\n# TYPE up_total counter\nup_total 9\n"
+	var sb strings.Builder
+	MergeMetrics([]NodeMetrics{
+		{ID: "n1", Text: []byte(a)},
+		{ID: "n2", Text: []byte(b)},
+	}, &sb)
+	text := sb.String()
+
+	if strings.Count(text, "# HELP up_total") != 1 || strings.Count(text, "# TYPE up_total") != 1 {
+		t.Errorf("headers not deduplicated:\n%s", text)
+	}
+	for _, want := range []string{
+		`up_total{node="n1"} 3`,
+		`up_total{node="n2"} 9`,
+		`memserve_federation_up{node="n1"} 1`,
+		`memserve_federation_up{node="n2"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+	// Families stay contiguous: both up_total series between the header
+	// and the end, no interleaving check needed beyond ordering.
+	if strings.Index(text, "# TYPE up_total") > strings.Index(text, `up_total{node="n1"}`) {
+		t.Errorf("series rendered before its family header:\n%s", text)
+	}
+}
+
+func TestMergeMetricsPreservesLabelsAndExemplars(t *testing.T) {
+	text := strings.Join([]string{
+		"# HELP lat_seconds Latency.",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 2 # {trace_id="abc123"} 0.07 1700000000.000`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 5.5",
+		"lat_seconds_count 3",
+		`jobs_state{state="queued"} 4`,
+		"plain_gauge 7",
+		"",
+	}, "\n")
+	var sb strings.Builder
+	MergeMetrics([]NodeMetrics{{ID: "node-x", Text: []byte(text)}}, &sb)
+	out := sb.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{node="node-x",le="0.1"} 2 # {trace_id="abc123"} 0.07 1700000000.000`,
+		`lat_seconds_bucket{node="node-x",le="+Inf"} 3`,
+		`lat_seconds_sum{node="node-x"} 5.5`,
+		`lat_seconds_count{node="node-x"} 3`,
+		`jobs_state{node="node-x",state="queued"} 4`,
+		`plain_gauge{node="node-x"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Histogram sub-series (_bucket/_sum/_count) must stay in the
+	// lat_seconds family, not spawn their own headerless families before
+	// the next family's header.
+	if i, j := strings.Index(out, "lat_seconds_count"), strings.Index(out, "jobs_state"); i > j {
+		t.Errorf("histogram family split apart:\n%s", out)
+	}
+}
+
+func TestMergeMetricsFailedNodeDegradesToUpZero(t *testing.T) {
+	var sb strings.Builder
+	MergeMetrics([]NodeMetrics{
+		{ID: "alive", Text: []byte("g 1\n")},
+		{ID: "dead", Err: context.DeadlineExceeded},
+	}, &sb)
+	out := sb.String()
+	if !strings.Contains(out, `memserve_federation_up{node="alive"} 1`) ||
+		!strings.Contains(out, `memserve_federation_up{node="dead"} 0`) {
+		t.Errorf("federation_up wrong:\n%s", out)
+	}
+	if strings.Contains(out, `{node="dead"} 1`) {
+		t.Errorf("dead node contributed series:\n%s", out)
+	}
+}
+
+func TestFetchMetrics(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte("g 42\n"))
+	}))
+	defer srv.Close()
+
+	nm := FetchMetrics(context.Background(), srv.Client(), Peer{ID: "p", URL: srv.URL})
+	if nm.Err != nil {
+		t.Fatalf("scrape failed: %v", nm.Err)
+	}
+	if string(nm.Text) != "g 42\n" {
+		t.Fatalf("scrape text %q", nm.Text)
+	}
+
+	srv.Close()
+	nm = FetchMetrics(context.Background(), srv.Client(), Peer{ID: "p", URL: srv.URL})
+	if nm.Err == nil {
+		t.Fatal("scraping a closed server should error")
+	}
+	if nm.ID != "p" {
+		t.Fatalf("error result lost the node ID: %+v", nm)
+	}
+}

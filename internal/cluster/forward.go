@@ -18,6 +18,12 @@ const ForwardedHeader = "X-Memsci-Forwarded"
 // so clients and tests can see where a forwarded solve landed.
 const NodeHeader = "X-Memsci-Node"
 
+// RequestIDHeader names the request-ID header. The entry node copies its
+// ID onto forwarded solves and job submissions (alongside the traceparent
+// span context), and the owner adopts it instead of minting a fresh one —
+// one ID joins both nodes' access logs, traces, and responses.
+const RequestIDHeader = "X-Request-Id"
+
 // Forwarder relays HTTP requests to peer nodes with bounded retries and
 // exponential backoff. Only transport failures are retried: a peer that
 // answers — even with 503 — has made an admission decision that must

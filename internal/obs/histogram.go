@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"sync/atomic"
+	"time"
 )
 
 // Histogram is a fixed-bucket histogram in the Prometheus style:
@@ -21,6 +22,18 @@ type Histogram struct {
 	counts     []atomic.Uint64
 	count      atomic.Uint64
 	sumBits    atomic.Uint64 // float64 bits, CAS-updated
+	// exemplars holds, per bucket, the most recent traced observation —
+	// the OpenMetrics exemplar that joins a latency bucket to the trace
+	// ID of one request that landed in it.
+	exemplars []atomic.Pointer[exemplar]
+}
+
+// exemplar is one traced observation: the trace ID of the request, the
+// observed value, and when it was observed.
+type exemplar struct {
+	traceID string
+	value   float64
+	ts      time.Time
 }
 
 // NewHistogram builds a histogram with the given ascending upper bounds.
@@ -37,6 +50,7 @@ func NewHistogram(name, help string, bounds []float64) *Histogram {
 	h := &Histogram{name: name, help: help}
 	h.bounds = append([]float64(nil), bounds...)
 	h.counts = make([]atomic.Uint64, len(bounds)+1) // +Inf overflow
+	h.exemplars = make([]atomic.Pointer[exemplar], len(bounds)+1)
 	return h
 }
 
@@ -67,6 +81,19 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// pins it as the bucket's exemplar — so a tail-latency bucket in
+// /metrics names a concrete trace ID an operator can pull from
+// /debug/traces instead of guessing which request was slow.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&exemplar{traceID: traceID, value: v, ts: time.Now()})
 }
 
 // Count returns the number of observations.
@@ -130,16 +157,29 @@ func (h *Histogram) Quantile(q float64) float64 {
 }
 
 // write renders the histogram in Prometheus text format: cumulative
-// _bucket series with le labels, then _sum and _count.
+// _bucket series with le labels (each with its OpenMetrics-style
+// exemplar when a traced observation landed in it), then _sum and
+// _count.
 func (h *Histogram) write(w io.Writer) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
 	cum := uint64(0)
 	for i, ub := range h.bounds {
 		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", h.name, ub, cum)
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d%s\n", h.name, ub, cum, h.exemplarSuffix(i))
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n", h.name, cum, h.exemplarSuffix(len(h.bounds)))
 	fmt.Fprintf(w, "%s_sum %g\n", h.name, h.Sum())
 	fmt.Fprintf(w, "%s_count %d\n", h.name, cum)
+}
+
+// exemplarSuffix renders bucket i's exemplar (" # {trace_id=...} v ts"),
+// or "" when the bucket never saw a traced observation.
+func (h *Histogram) exemplarSuffix(i int) string {
+	ex := h.exemplars[i].Load()
+	if ex == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %g %.3f",
+		ex.traceID, ex.value, float64(ex.ts.UnixMilli())/1e3)
 }

@@ -104,6 +104,43 @@ func TestHistogramQuantileEdgeCases(t *testing.T) {
 	}
 }
 
+// ObserveExemplar pins the latest traced observation on its bucket and
+// renders it as an OpenMetrics-style suffix; untraced observations and
+// untouched buckets render bare.
+func TestHistogramExemplarRendering(t *testing.T) {
+	h := NewHistogram("lat", "Latency.", []float64{0.1, 1})
+	h.ObserveExemplar(0.05, "aaaa1111")
+	h.ObserveExemplar(0.07, "bbbb2222") // same bucket: latest wins
+	h.Observe(0.5)                      // untraced: no exemplar on le=1
+	h.ObserveExemplar(5, "")            // empty trace ID: observed, not pinned
+	var sb strings.Builder
+	h.write(&sb)
+	text := sb.String()
+	if !strings.Contains(text, `lat_bucket{le="0.1"} 2 # {trace_id="bbbb2222"} 0.07`) {
+		t.Errorf("le=0.1 bucket missing latest exemplar:\n%s", text)
+	}
+	if strings.Contains(text, "aaaa1111") {
+		t.Errorf("overwritten exemplar still rendered:\n%s", text)
+	}
+	line := func(prefix string) string {
+		for _, l := range strings.Split(text, "\n") {
+			if strings.HasPrefix(l, prefix) {
+				return l
+			}
+		}
+		return ""
+	}
+	if l := line(`lat_bucket{le="1"}`); strings.Contains(l, "#") {
+		t.Errorf("untraced bucket rendered an exemplar: %q", l)
+	}
+	if l := line(`lat_bucket{le="+Inf"}`); strings.Contains(l, "#") {
+		t.Errorf("empty-trace-ID observation pinned an exemplar: %q", l)
+	}
+	if h.Count() != 4 {
+		t.Errorf("count %d want 4", h.Count())
+	}
+}
+
 func TestHistogramPrometheusRendering(t *testing.T) {
 	h := NewHistogram("lat", "Latency.", []float64{0.1, 1})
 	h.Observe(0.05)

@@ -58,6 +58,29 @@ func (m *funcMetric) write(w io.Writer) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, m.typ, m.name, m.f())
 }
 
+// Label is one constant name="value" pair on an info metric.
+type Label struct{ Name, Value string }
+
+// infoMetric renders a constant gauge of value 1 whose labels carry the
+// information — the memserve_build_info idiom, where the interesting
+// content (version, go version) lives in label values joinable in
+// PromQL, not in the sample.
+type infoMetric struct {
+	name, help string
+	labels     []Label
+}
+
+func (m *infoMetric) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s{", m.name, m.help, m.name, m.name)
+	for i, l := range m.labels {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		fmt.Fprintf(w, "%s=%q", l.Name, l.Value)
+	}
+	io.WriteString(w, "} 1\n")
+}
+
 type metric interface{ write(io.Writer) }
 
 // Registry holds named metrics and renders them in Prometheus text
@@ -108,6 +131,12 @@ func (r *Registry) CounterFunc(name, help string, f func() int64) {
 // GaugeFunc registers a gauge whose value is read from f at scrape time.
 func (r *Registry) GaugeFunc(name, help string, f func() int64) {
 	r.register(name, &funcMetric{name: name, help: help, typ: "gauge", f: f})
+}
+
+// Info registers a constant info-style gauge: value 1, identity in the
+// labels (e.g. memserve_build_info{version=...,go_version=...} 1).
+func (r *Registry) Info(name, help string, labels ...Label) {
+	r.register(name, &infoMetric{name: name, help: help, labels: append([]Label(nil), labels...)})
 }
 
 // Histogram registers and returns a histogram over the given ascending

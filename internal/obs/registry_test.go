@@ -40,6 +40,25 @@ func TestRegistryRendersInRegistrationOrder(t *testing.T) {
 	}
 }
 
+func TestRegistryInfoMetric(t *testing.T) {
+	reg := NewRegistry()
+	reg.Info("svc_build_info", "Build metadata.",
+		Label{Name: "version", Value: "v1.2.3"},
+		Label{Name: "go_version", Value: "go1.22"})
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		"# HELP svc_build_info Build metadata.",
+		"# TYPE svc_build_info gauge",
+		`svc_build_info{version="v1.2.3",go_version="go1.22"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
 func TestRegistryDuplicatePanics(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("dup", "")

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -84,6 +85,11 @@ type SolveTrace struct {
 	// are preserved there, so sums stay exact).
 	Truncated  int               `json:"truncated,omitempty"`
 	Iterations []IterationSample `json:"iterations"`
+	// Span is the request's phase-attributed span tree, when the serving
+	// layer traced it — so a /debug/traces entry shows not just how the
+	// solve converged but where the request's time and hardware work went
+	// (queue, forward hop, programming, solve, refresh), across nodes.
+	Span *Span `json:"span,omitempty"`
 }
 
 // HWTotal sums the per-iteration hardware deltas; nil when no sample
@@ -120,6 +126,7 @@ type Recorder struct {
 	start      time.Time
 	last       time.Time
 	maxSamples int
+	span       *Span
 	trace      SolveTrace
 }
 
@@ -135,6 +142,12 @@ func NewRecorder(sampler func() HWCounters) *Recorder {
 	}
 	return r
 }
+
+// AttachSpan links the recorder to the request's solve-phase span:
+// Finish folds the summed per-iteration hardware deltas onto it (and
+// stamps the iteration count), so the span tree charges the solve phase
+// exactly the TakeStats window the per-iteration samples sum to.
+func (r *Recorder) AttachSpan(s *Span) { r.span = s }
 
 // Observe is the solver.Monitor hook: it appends one sample per
 // iteration. The iteration argument is accepted for the Monitor
@@ -186,6 +199,12 @@ func (r *Recorder) Finish(converged bool, residual float64) *SolveTrace {
 	r.trace.Converged = converged
 	r.trace.Residual = residual
 	r.trace.TotalNanos = time.Since(r.start).Nanoseconds()
+	if r.span != nil {
+		if hw := r.trace.HWTotal(); hw != nil {
+			r.span.SetHW(*hw)
+		}
+		r.span.SetAttr("iterations", strconv.Itoa(len(r.trace.Iterations)+r.trace.Truncated))
+	}
 	return &r.trace
 }
 

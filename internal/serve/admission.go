@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"memsci/internal/jobs"
+	"memsci/internal/obs"
 )
 
 // Admission-control defaults. The queue is deliberately small: a solve
@@ -25,11 +26,14 @@ const (
 	retryAfterHeaderName = "Retry-After"
 )
 
-// queuedJob is one admitted async solve waiting for a worker.
+// queuedJob is one admitted async solve waiting for a worker. span is
+// the job's root span (nil with tracing off); the worker charges the
+// submit→dequeue wait to a "queue" child at dequeue time.
 type queuedJob struct {
 	job      *jobs.Job
 	spec     *solveSpec
 	enqueued time.Time
+	span     *obs.Span
 }
 
 // workQueue is the bounded FIFO between job submission and the worker

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"memsci/internal/jobs"
+	"memsci/internal/obs"
 	"memsci/internal/solver"
 )
 
@@ -38,11 +39,22 @@ type JobStatusResponse struct {
 // queue or store sheds with 503 + Retry-After — the queue is never
 // unbounded.
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	// The job's root span starts at submission and lives until the job
+	// finishes — queue wait, programming, and the solve all become
+	// children, so an async result carries the same phase attribution a
+	// synchronous response does. Job relays pass nil root/forward spans:
+	// the owning node runs the job, so its trace is rooted there.
+	root := s.startSpan(r, "job")
+	root.SetAttr("request_id", RequestID(r.Context()))
+
 	tenant := r.Header.Get(apiKeyHeader)
 	if tenant == "" {
 		tenant = anonymousTenant
 	}
-	if !s.checkQuota(w, r, tenant) {
+	throttleSp := root.StartChild("throttle")
+	admitted := s.checkQuota(w, r, tenant)
+	throttleSp.End()
+	if !admitted {
 		return
 	}
 	if s.draining.Load() {
@@ -50,12 +62,14 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusServiceUnavailable, "draining: not accepting new jobs")
 		return
 	}
+	parseSp := root.StartChild("parse")
 	spec := s.parseSolveRequest(w, r)
+	parseSp.End()
 	if spec == nil {
 		return
 	}
 	if owner, remote := s.shardOwner(r, spec.key); remote {
-		if s.relayToOwner(w, r, spec, owner, "/v1/jobs") {
+		if s.relayToOwner(w, r, spec, owner, "/v1/jobs", nil, nil) {
 			return
 		}
 		// Owner unreachable: degrade to running the job here.
@@ -68,9 +82,10 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusServiceUnavailable, "job store full; retry later")
 		return
 	}
+	root.SetAttr("job", job.ID)
 	s.startWorkers()
 	s.jobsWG.Add(1)
-	item := &queuedJob{job: job, spec: spec, enqueued: time.Now()}
+	item := &queuedJob{job: job, spec: spec, enqueued: time.Now(), span: root}
 	if !s.queue.Push(item) {
 		s.jobsWG.Done()
 		job.Finish(jobs.StateShed, nil, "job queue full at submission")
@@ -245,12 +260,17 @@ func (s *Server) runQueued(ctx context.Context, item *queuedJob) {
 	}()
 
 	// Age-based shedding happens at dequeue: a job that waited past the
-	// bound is dropped before consuming a concurrency slot.
+	// bound is dropped before consuming a concurrency slot. The queue
+	// span is charged retroactively from the enqueue timestamp — nobody
+	// watched the clock while the job waited.
 	runnable := batch[:0]
 	for _, it := range batch {
 		wait := time.Since(it.enqueued)
 		s.metrics.queueWait.Observe(wait.Seconds())
+		queueSp := it.span.StartChildAt("queue", it.enqueued)
+		queueSp.End()
 		if s.cfg.MaxQueueAge > 0 && wait > s.cfg.MaxQueueAge {
+			queueSp.SetAttr("shed", "true")
 			it.job.Finish(jobs.StateShed, nil,
 				fmt.Sprintf("shed: queued %.1fs, bound %s", wait.Seconds(), s.cfg.MaxQueueAge))
 			s.metrics.sheds.Inc()
@@ -293,7 +313,11 @@ func (s *Server) runJob(ctx context.Context, item *queuedJob) {
 	bridge := func(iter int, rn float64) {
 		job.Events.Append(jobs.Event{Type: jobs.EventIteration, Iteration: iter, Residual: rn})
 	}
-	resp, err := s.executeSolve(execCtx, item.spec, job.ID, bridge)
+	resp, err := s.executeSolve(execCtx, item.spec, job.ID, bridge, item.span)
+	item.span.End()
+	if resp != nil {
+		resp.Span = item.span
+	}
 	s.finishJob(job, resp, err)
 }
 
@@ -381,6 +405,14 @@ func (s *Server) runBatch(ctx context.Context, batch []*queuedJob) {
 	lease.Engine.TakeStats()
 	s.metrics.programSeconds.Observe(time.Since(progStart).Seconds())
 	programMS := msSince(progStart)
+	// One engine acquisition serves the whole batch, but each job's trace
+	// gets its own program span over the shared interval — every tree is
+	// self-contained.
+	for _, it := range started {
+		progSp := it.span.StartChildAt("program", progStart)
+		progSp.SetAttr("cache_hit", fmt.Sprint(lease.Hit))
+		progSp.End()
+	}
 
 	opt := solver.Options{Tol: spec.req.Tol, MaxIter: spec.req.MaxIter, Ctx: execCtx}
 	if opt.Tol == 0 {
@@ -400,6 +432,11 @@ func (s *Server) runBatch(ctx context.Context, batch []*queuedJob) {
 	}
 
 	solveStart := time.Now()
+	solveSps := make([]*obs.Span, len(started))
+	for i, it := range started {
+		solveSps[i] = it.span.StartChildAt("solve", solveStart)
+		solveSps[i].SetAttr("method", spec.method)
+	}
 	results, err := solver.CGBatch(lease.Engine, bs, opt, monitors)
 	solveSecs := time.Since(solveStart).Seconds()
 	s.metrics.batches.Inc()
@@ -416,8 +453,15 @@ func (s *Server) runBatch(ctx context.Context, batch []*queuedJob) {
 	}
 	for i, it := range started {
 		res := results[i]
-		s.metrics.solveSeconds.Observe(solveSecs)
+		s.metrics.solveSeconds.ObserveExemplar(solveSecs, it.span.Context().TraceID)
 		s.metrics.solves.Inc()
+		// The engine's hardware window covers the whole lockstep batch;
+		// each job's solve span carries it with batch_size marked, the
+		// same explicit attribution the response makes.
+		solveSps[i].End()
+		solveSps[i].SetHW(st.HWCounters())
+		solveSps[i].SetAttr("batch_size", fmt.Sprint(len(started)))
+		it.span.End()
 		// Lockstep systems share the context: on cancellation, systems
 		// that already converged still report their result.
 		if err != nil && (res == nil || !res.Converged) {
@@ -433,6 +477,7 @@ func (s *Server) runBatch(ctx context.Context, batch []*queuedJob) {
 			Total:   it.spec.parseMS + programMS + solveSecs*1e3,
 		}
 		resp.Hardware = &st
+		resp.Span = it.span
 		it.job.Finish(jobs.StateDone, resp, "")
 	}
 	s.logger.Info("batch solve",

@@ -37,6 +37,27 @@ func newRequestID() string {
 	return reqPrefix + "-" + string(buf[:])
 }
 
+// inboundRequestID returns a sanitized X-Request-Id from the request, or
+// "" when absent or unacceptable. Forwarding peers set it so one ID
+// joins both nodes' access logs and traces; the shape check keeps hostile
+// clients from injecting log-breaking bytes through the header.
+func inboundRequestID(r *http.Request) string {
+	id := r.Header.Get("X-Request-Id")
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case '0' <= c && c <= '9', 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z',
+			c == '-', c == '_', c == '.':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
 type reqIDKey struct{}
 
 // RequestID returns the request ID the logging middleware attached to
@@ -83,7 +104,12 @@ func (w *statusWriter) Flush() {
 // log at Debug so a 15s Prometheus interval does not drown the solve
 // traffic logged at Info.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	id := newRequestID()
+	// A well-formed inbound ID is adopted (the forwarding peer's, so one
+	// ID spans the hop); otherwise a fresh one is minted.
+	id := inboundRequestID(r)
+	if id == "" {
+		id = newRequestID()
+	}
 	w.Header().Set("X-Request-Id", id)
 	r = r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id))
 	sw := &statusWriter{ResponseWriter: w}

@@ -1,10 +1,17 @@
 package serve
 
 import (
+	"bytes"
+	"context"
 	"math"
 	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
 
 	"memsci/internal/accel"
+	"memsci/internal/cluster"
 	"memsci/internal/jobs"
 	"memsci/internal/obs"
 )
@@ -140,6 +147,41 @@ func (m *Metrics) registerClusterFuncs(s *Server) {
 	}
 }
 
+// registerRuntimeFuncs registers build/runtime self-metrics: a
+// memserve_build_info info gauge (module version and Go toolchain from
+// the embedded build info), plus scrape-time goroutine, GC, and heap
+// gauges read from the runtime — the "is this process healthy" floor
+// every node exports before any request arrives.
+func (m *Metrics) registerRuntimeFuncs() {
+	version := "(devel)"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	m.reg.Info("memserve_build_info", "Build metadata; value is always 1.",
+		obs.Label{Name: "version", Value: version},
+		obs.Label{Name: "go_version", Value: runtime.Version()})
+	m.reg.GaugeFunc("memserve_goroutines", "Live goroutines.",
+		func() int64 { return int64(runtime.NumGoroutine()) })
+	m.reg.CounterFunc("memserve_gc_runs_total", "Completed GC cycles.",
+		func() int64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return int64(ms.NumGC)
+		})
+	m.reg.CounterFunc("memserve_gc_pause_nanoseconds_total", "Cumulative GC stop-the-world pause time.",
+		func() int64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return int64(ms.PauseTotalNs)
+		})
+	m.reg.GaugeFunc("memserve_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() int64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return int64(ms.HeapAlloc)
+		})
+}
+
 // noteRefresh folds one solve's refresh-stats delta into the counters.
 func (m *Metrics) noteRefresh(rs accel.RefreshStats) {
 	m.refreshes.Add(int64(rs.Refreshes))
@@ -162,4 +204,54 @@ func (m *Metrics) observeTrace(t *obs.SolveTrace) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.reg.WritePrometheus(w)
+}
+
+// federationTimeout bounds the whole peer-scraping fan-out behind one
+// /cluster/metrics request.
+const federationTimeout = 5 * time.Second
+
+// nodeLabel is the node="..." value this server's series carry in
+// federated output.
+func (s *Server) nodeLabel() string {
+	if s.cfg.NodeID != "" {
+		return s.cfg.NodeID
+	}
+	return "local"
+}
+
+// handleClusterMetrics serves the federated view: this node's registry
+// rendered locally (no self-scrape over HTTP — the server may not know
+// its own public URL) merged with every peer's /metrics fetched
+// concurrently, all node-labeled. Peers that fail to answer show up as
+// memserve_federation_up 0 rather than failing the merge.
+func (s *Server) handleClusterMetrics(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), federationTimeout)
+	defer cancel()
+
+	var local bytes.Buffer
+	s.metrics.reg.WritePrometheus(&local)
+	scrapes := []cluster.NodeMetrics{{ID: s.nodeLabel(), Text: local.Bytes()}}
+
+	var peers []cluster.Peer
+	for _, p := range s.cfg.Peers {
+		if p.ID != s.cfg.NodeID {
+			peers = append(peers, p)
+		}
+	}
+	if len(peers) > 0 {
+		results := make([]cluster.NodeMetrics, len(peers))
+		var wg sync.WaitGroup
+		for i, p := range peers {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				results[i] = cluster.FetchMetrics(ctx, s.fedClient, p)
+			}()
+		}
+		wg.Wait()
+		scrapes = append(scrapes, results...)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	cluster.MergeMetrics(scrapes, w)
 }

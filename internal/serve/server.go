@@ -55,6 +55,12 @@ type Config struct {
 	// TraceRingSize bounds the ring of recent solve traces served by
 	// /debug/traces (0 = 64).
 	TraceRingSize int
+	// DisableTracing turns off per-request phase spans (the zero value
+	// traces every request — spans are a handful of small allocations on
+	// the request path, never on the MVM hot path). With tracing off,
+	// responses and /debug/traces carry no span trees and latency
+	// histograms record no exemplars.
+	DisableTracing bool
 
 	// SolveTimeout, when positive, is a hard per-solve execution
 	// deadline: it caps both synchronous /solve deadlines (including
@@ -191,6 +197,8 @@ type Server struct {
 	ring *cluster.Ring
 	self cluster.Peer
 	fwd  *cluster.Forwarder
+	// fedClient scrapes peer /metrics for the /cluster/metrics merge.
+	fedClient *http.Client
 
 	syncWaiting  atomic.Int64
 	draining     atomic.Bool
@@ -244,6 +252,8 @@ func New(cfg Config) *Server {
 
 	s.metrics = newMetrics(s.cache)
 	s.metrics.registerClusterFuncs(s)
+	s.metrics.registerRuntimeFuncs()
+	s.fedClient = &http.Client{Timeout: federationTimeout}
 	s.traces = obs.NewTraceRing(cfg.TraceRingSize)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /solve", s.handleSolve)
@@ -253,8 +263,23 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /cluster/metrics", s.handleClusterMetrics)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	return s
+}
+
+// startSpan roots this process's span tree for one request: a fresh
+// trace normally, or a continuation when the caller (a forwarding peer,
+// or any W3C-instrumented client) sent a valid traceparent header — that
+// is what makes a forwarded solve one trace across two nodes.
+func (s *Server) startSpan(r *http.Request, phase string) *obs.Span {
+	if s.cfg.DisableTracing {
+		return nil
+	}
+	if sc, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+		return obs.ContinueSpan(sc, s.cfg.NodeID, phase)
+	}
+	return obs.NewSpan(s.cfg.NodeID, phase)
 }
 
 // Jobs exposes the job store (tests).
@@ -285,6 +310,7 @@ func (s *Server) EffectiveConfig() map[string]any {
 			"pool_size":          s.cache.poolSize,
 			"engine_parallelism": s.cache.par,
 		},
+		"tracing":          !c.DisableTracing,
 		"node_id":          c.NodeID,
 		"peers":            peers,
 		"sharding":         s.ring != nil,
@@ -387,6 +413,11 @@ type SolveResponse struct {
 	// Trace is the per-iteration record, present when the request set
 	// "trace": true.
 	Trace *obs.SolveTrace `json:"trace,omitempty"`
+	// Span is the request's phase-attributed span tree (queue wait,
+	// throttle, forward hop, programming, solve, refresh), present
+	// whenever tracing is enabled. A forwarded solve returns one tree
+	// spanning both nodes under a single trace ID.
+	Span *obs.Span `json:"span,omitempty"`
 }
 
 type errorResponse struct {
@@ -418,21 +449,39 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.solveHook()
 	}
 
+	// The root span covers the whole request; each admission stage gets
+	// a child, so "where did this request's latency go" decomposes into
+	// named phases. All span calls are nil-safe no-ops when tracing is
+	// disabled.
+	root := s.startSpan(r, "request")
+	root.SetAttr("request_id", reqID)
+
+	parseSp := root.StartChild("parse")
 	spec := s.parseSolveRequest(w, r)
+	parseSp.End()
 	if spec == nil {
 		return
 	}
-	if !s.checkQuota(w, r, spec.tenant) {
+	throttleSp := root.StartChild("throttle")
+	admitted := s.checkQuota(w, r, spec.tenant)
+	throttleSp.End()
+	if !admitted {
 		return
 	}
 	if owner, remote := s.shardOwner(r, spec.key); remote {
-		if s.relayToOwner(w, r, spec, owner, "/solve") {
+		fwdSp := root.StartChild("forward")
+		fwdSp.SetAttr("owner", owner.ID)
+		if s.relayToOwner(w, r, spec, owner, "/solve", root, fwdSp) {
 			return
 		}
 		// Owner unreachable after retries: degrade to a local solve.
+		fwdSp.SetAttr("fallback", "true")
+		fwdSp.End()
 	}
 
+	queueSp := root.StartChild("queue")
 	release, ok := s.acquireSlot(r.Context())
+	queueSp.End()
 	if !ok {
 		s.shedSync(w)
 		return
@@ -442,7 +491,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.effectiveTimeout(&spec.req))
 	defer cancel()
 
-	resp, err := s.executeSolve(ctx, spec, reqID, nil)
+	resp, err := s.executeSolve(ctx, spec, reqID, nil, root)
 	if err != nil {
 		// Cache-acquisition failures kept their historical 422 fallback;
 		// solver failures map to 400, context errors to 504/503.
@@ -454,6 +503,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp.Timings.Total = msSince(start)
+	root.End()
+	resp.Span = root
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 
 	"memsci/internal/cluster"
+	"memsci/internal/obs"
 )
 
 // isForwarded reports whether a peer already relayed this request once;
@@ -25,16 +27,34 @@ func (s *Server) shardOwner(r *http.Request, key string) (owner cluster.Peer, re
 	return owner, owner.ID != s.cfg.NodeID
 }
 
+// maxRelayDecodeBytes bounds the forwarded solve response this node will
+// buffer to graft the owner's span tree (solution vectors for MaxRows
+// systems fit comfortably; past this the relay streams verbatim).
+const maxRelayDecodeBytes = 64 << 20
+
 // relayToOwner forwards the validated request body to the owning peer
 // and, on success, copies the peer's response (any status — the owner's
 // admission decisions propagate) to the client. It returns false when
 // the owner is unreachable after retries; the caller then degrades to a
 // local solve, which re-programs the matrix here but keeps the service
 // answering (counted in memserve_forward_fallback_total).
-func (s *Server) relayToOwner(w http.ResponseWriter, r *http.Request, spec *solveSpec, owner cluster.Peer, path string) bool {
+//
+// The forward carries this request's ID and the forward span's
+// traceparent, so the owner joins the entry node's trace and logs under
+// the same request ID. With root non-nil (a traced /solve), a successful
+// solve response is decoded, the owner's span tree grafted under fwdSp,
+// and the whole single-trace tree re-encoded in the relayed body — the
+// client sees one coherent trace covering both nodes.
+func (s *Server) relayToOwner(w http.ResponseWriter, r *http.Request, spec *solveSpec, owner cluster.Peer, path string, root, fwdSp *obs.Span) bool {
 	hdr := http.Header{}
 	if v := r.Header.Get(apiKeyHeader); v != "" {
 		hdr.Set(apiKeyHeader, v)
+	}
+	if id := RequestID(r.Context()); id != "" {
+		hdr.Set(cluster.RequestIDHeader, id)
+	}
+	if sc := fwdSp.Context(); sc.Valid() {
+		hdr.Set(obs.TraceparentHeader, sc.Traceparent())
 	}
 	resp, err := s.fwd.Forward(r.Context(), owner, path, spec.raw, hdr)
 	if err != nil {
@@ -52,14 +72,47 @@ func (s *Server) relayToOwner(w http.ResponseWriter, r *http.Request, spec *solv
 		w.Header().Set(retryAfterHeaderName, ra)
 	}
 	w.Header().Set(cluster.NodeHeader, owner.ID)
+
+	if root != nil && path == "/solve" && resp.StatusCode == http.StatusOK {
+		if s.relaySolveWithGraft(w, resp, root, fwdSp) {
+			s.logForwarded(r, path, owner, resp.StatusCode, spec.key)
+			return true
+		}
+	}
+
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, resp.Body)
+	s.logForwarded(r, path, owner, resp.StatusCode, spec.key)
+	return true
+}
+
+// relaySolveWithGraft decodes the owner's solve response, grafts its span
+// tree under the entry node's forward span, and writes the merged
+// response. A body that cannot be read or decoded is relayed as-is: the
+// client still gets the owner's answer, just without the entry node's
+// spans.
+func (s *Server) relaySolveWithGraft(w http.ResponseWriter, resp *http.Response, root, fwdSp *obs.Span) bool {
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxRelayDecodeBytes))
+	var sr SolveResponse
+	if err != nil || json.Unmarshal(body, &sr) != nil {
+		w.WriteHeader(resp.StatusCode)
+		_, _ = w.Write(body)
+		return true
+	}
+	fwdSp.Graft(sr.Span)
+	fwdSp.End()
+	root.End()
+	sr.Span = root
+	writeJSON(w, resp.StatusCode, &sr)
+	return true
+}
+
+func (s *Server) logForwarded(r *http.Request, path string, owner cluster.Peer, status int, key string) {
 	s.logger.Info("forwarded",
 		"id", RequestID(r.Context()),
 		"path", path,
 		"owner", owner.ID,
-		"status", resp.StatusCode,
-		"key", spec.key,
+		"status", status,
+		"key", key,
 	)
-	return true
 }

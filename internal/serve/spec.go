@@ -165,7 +165,9 @@ func (s *Server) effectiveTimeout(req *SolveRequest) time.Duration {
 // mapping: on error the returned response is nil and err wraps the
 // solver or context failure (context.DeadlineExceeded marks a solve
 // timeout, already counted in the timeout metric here).
-func (s *Server) executeSolve(ctx context.Context, spec *solveSpec, reqID string, extra solver.Monitor) (*SolveResponse, error) {
+// parent, when non-nil, receives program/solve/refresh child spans; the
+// solve span carries the engine's hardware-counter window for the run.
+func (s *Server) executeSolve(ctx context.Context, spec *solveSpec, reqID string, extra solver.Monitor, parent *obs.Span) (*SolveResponse, error) {
 	if s.execHook != nil {
 		s.execHook()
 	}
@@ -189,9 +191,11 @@ func (s *Server) executeSolve(ctx context.Context, spec *solveSpec, reqID string
 	var lease *Lease
 	progStart := time.Now()
 	if spec.backend == "accel" {
+		progSp := parent.StartChild("program")
 		var err error
 		lease, err = s.cache.Acquire(ctx, spec.m)
 		if err != nil {
+			progSp.End()
 			if errors.Is(err, context.DeadlineExceeded) {
 				s.metrics.timeouts.Inc()
 			}
@@ -201,7 +205,9 @@ func (s *Server) executeSolve(ctx context.Context, spec *solveSpec, reqID string
 		lease.Engine.TakeStats() // discard any stale window
 		op = lease.Engine
 		cacheInfo = &CacheInfo{Hit: lease.Hit, Key: lease.Key}
-		s.metrics.programSeconds.Observe(time.Since(progStart).Seconds())
+		progSp.SetAttr("cache_hit", fmt.Sprint(lease.Hit))
+		progSp.End()
+		s.metrics.programSeconds.ObserveExemplar(time.Since(progStart).Seconds(), parent.Context().TraceID)
 	}
 	programMS := msSince(progStart)
 
@@ -216,9 +222,14 @@ func (s *Server) executeSolve(ctx context.Context, spec *solveSpec, reqID string
 	rec := obs.NewRecorder(sampler)
 	opt.Monitor = solver.Tee(rec.Observe, extra)
 
+	solveSp := parent.StartChild("solve")
+	solveSp.SetAttr("method", spec.method)
+	rec.AttachSpan(solveSp)
+
 	solveStart := time.Now()
 	res, err := runMethod(spec.method, op, spec.m, spec.b, opt)
-	s.metrics.solveSeconds.Observe(time.Since(solveStart).Seconds())
+	solveSp.End()
+	s.metrics.solveSeconds.ObserveExemplar(time.Since(solveStart).Seconds(), parent.Context().TraceID)
 	s.metrics.solves.Inc()
 
 	var trace *obs.SolveTrace
@@ -240,7 +251,7 @@ func (s *Server) executeSolve(ctx context.Context, spec *solveSpec, reqID string
 		return nil, err
 	}
 
-	resp := s.buildResponse(spec, res, lease, cacheInfo, reqID)
+	resp := s.buildResponse(spec, res, lease, cacheInfo, reqID, parent)
 	resp.Timings = Timings{
 		Parse:   spec.parseMS,
 		Program: programMS,
@@ -267,8 +278,10 @@ func (s *Server) executeSolve(ctx context.Context, spec *solveSpec, reqID string
 }
 
 // buildResponse assembles the common response fields and drains the
-// leased engine's stats and refresh windows.
-func (s *Server) buildResponse(spec *solveSpec, res *solver.Result, lease *Lease, cacheInfo *CacheInfo, reqID string) *SolveResponse {
+// leased engine's stats and refresh windows. Refresh work, when any
+// happened, gets its own child span under parent so re-programming cost
+// is attributed separately from the solve.
+func (s *Server) buildResponse(spec *solveSpec, res *solver.Result, lease *Lease, cacheInfo *CacheInfo, reqID string, parent *obs.Span) *SolveResponse {
 	resp := &SolveResponse{
 		X:          res.X,
 		Iterations: res.Iterations,
@@ -289,6 +302,10 @@ func (s *Server) buildResponse(spec *solveSpec, res *solver.Result, lease *Lease
 		if rs := lease.Engine.TakeRefreshStats(); rs != (accel.RefreshStats{}) {
 			resp.Refresh = &rs
 			s.metrics.noteRefresh(rs)
+			refreshSp := parent.StartChild("refresh")
+			refreshSp.SetAttr("refreshes", fmt.Sprint(rs.Refreshes))
+			refreshSp.SetAttr("cells", fmt.Sprint(rs.CellsReprogrammed))
+			refreshSp.End()
 		}
 	}
 	return resp
