@@ -18,6 +18,7 @@
 //	experiments -run ablation    per-technique gains (§IV, §V-B2)
 //	experiments -run direct      direct-method fill-in (§II-B)
 //	experiments -run motivation  low-precision datapaths stall (§I)
+//	experiments -run mixedprec   mixed-precision iterative refinement vs full precision
 //	experiments -run all         everything above
 //
 // Results print as aligned tables and ASCII bar charts; -csv switches the
@@ -45,6 +46,7 @@ type options struct {
 	measure bool
 	par     int
 	trace   string
+	gate    string
 
 	traceMu   sync.Mutex
 	traceFile *os.File
@@ -81,7 +83,7 @@ func (o *options) closeTrace() {
 
 func main() {
 	var opt options
-	flag.StringVar(&opt.run, "run", "all", "experiment to run (table1|table2|table3|fig6..fig13|area|endurance|reliability|ablation|direct|all)")
+	flag.StringVar(&opt.run, "run", "all", "experiment to run (table1|table2|table3|fig6..fig13|area|endurance|reliability|ablation|direct|motivation|mixedprec|all)")
 	flag.BoolVar(&opt.csv, "csv", false, "emit tables as CSV")
 	flag.IntVar(&opt.trials, "trials", 12, "Monte-Carlo trials for fig12/fig13 (paper: 100)")
 	flag.Float64Var(&opt.scale, "scale", 1.0, "matrix scale factor for the modeling experiments")
@@ -89,6 +91,7 @@ func main() {
 	flag.BoolVar(&opt.measure, "measure-iters", false, "measure solver iteration counts on scaled stand-ins instead of using the catalog counts")
 	flag.IntVar(&opt.par, "par", 0, "worker goroutines for Monte-Carlo trials and cluster execution (0 = GOMAXPROCS, 1 = serial)")
 	flag.StringVar(&opt.trace, "trace", "", "write per-iteration solver traces (JSONL) from the numeric solves (-measure-iters, motivation) to this file")
+	flag.StringVar(&opt.gate, "gate", "", "mixedprec only: path to the committed ADC-conversion-ratio threshold file; exit nonzero when accuracy or the ratio misses it")
 	flag.Parse()
 	defer opt.closeTrace()
 
@@ -110,10 +113,11 @@ func main() {
 		"area":        runArea,
 		"endurance":   runEndurance,
 		"reliability": runReliability,
+		"mixedprec":   runMixedprec,
 	}
 	order := []string{"table1", "table2", "table3", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "area", "endurance",
-		"reliability", "ablation", "direct", "motivation"}
+		"reliability", "ablation", "direct", "motivation", "mixedprec"}
 
 	names := []string{opt.run}
 	if opt.run == "all" {

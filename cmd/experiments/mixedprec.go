@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"memsci/internal/accel"
+	"memsci/internal/blocking"
+	"memsci/internal/core"
+	"memsci/internal/energy"
+	"memsci/internal/lowprec"
+	"memsci/internal/matgen"
+	"memsci/internal/report"
+	"memsci/internal/solver"
+	"memsci/internal/sparse"
+)
+
+// mixedprecTol is the outer convergence bar of the refinement study: the
+// scientific-computing tolerance of §II that low-precision datapaths
+// cannot reach on their own.
+const mixedprecTol = 1e-10
+
+// mixedprecCases are the corpus matrices of the refinement study with
+// their stand-in scale factors (multiplied by -scale). The factors are
+// sized so the full sweep — one full-precision solve plus three
+// refinement runs per matrix — finishes in a couple of minutes.
+var mixedprecCases = []struct {
+	name  string
+	scale float64
+}{
+	{"crystm03", 0.06},
+	{"Pres_Poisson", 0.08},
+	{"qa8fm", 0.06},
+}
+
+// runMixedprec compares mixed-precision iterative refinement against the
+// full-precision bit-exact pipeline: the same SPD corpus systems are
+// solved (a) by full-precision CG on the default engine, (b) by
+// solver.Refine with a reduced-slice 8-bit inner engine, (c) with a
+// ReFloat-style block-exponent inner engine (8-bit significands, 12-bit
+// exponent window), and (d) with the lowprec fixed-point datapath as the
+// inner operator. All refinement runs must hit the same 1e-10 true
+// residual as the full solve; the payoff is the ADC-conversion ratio.
+//
+// With -gate, the committed threshold file is read and the run fails
+// (nonzero exit) unless every accel refinement run converges to 1e-10
+// AND spends at most threshold× the full-precision solve's ADC
+// conversions.
+func runMixedprec(opt *options) error {
+	var gateThreshold float64
+	if opt.gate != "" {
+		var err error
+		gateThreshold, err = readGateThreshold(opt.gate)
+		if err != nil {
+			return err
+		}
+	}
+
+	ecfg := energy.Default()
+	// Conversion energy modeled at the 512-wide ADC rate (the paper's
+	// largest cluster); relative numbers are insensitive to the size.
+	adcJ := ecfg.ADCEnergyPerConversion(512)
+
+	t := report.NewTable("matrix", "scheme", "outer", "inner iters",
+		"true resid", "ADC conv", "vs full", "ADC energy (uJ)")
+
+	var gateFailures []string
+	for _, c := range mixedprecCases {
+		spec, err := matgen.ByName(c.name)
+		if err != nil {
+			return err
+		}
+		m := spec.GenerateScaled(c.scale * opt.scale)
+		b := sparse.Ones(m.Rows())
+		trueRes := func(x []float64) float64 {
+			return sparse.Norm2(sparse.Residual(m, x, b)) / sparse.Norm2(b)
+		}
+		plan, err := blocking.Preprocess(m, blocking.DefaultSubstrate())
+		if err != nil {
+			return err
+		}
+
+		// (a) Full-precision baseline: bit-exact CG on the default engine.
+		full, err := accel.NewEngine(plan, core.DefaultClusterConfig(), opt.seed)
+		if err != nil {
+			return err
+		}
+		full.TakeStats()
+		fres, err := solver.CG(full, b, solver.Options{Tol: mixedprecTol, MaxIter: 20000})
+		if err != nil {
+			return err
+		}
+		fullConv := full.TakeStats().Conversions
+		t.Add(c.name, "full-precision CG", "-", fres.Iterations,
+			fmt.Sprintf("%.2e", trueRes(fres.X)), fullConv, "1.00x",
+			fmt.Sprintf("%.2f", float64(fullConv)*adcJ*1e6))
+
+		// (b)+(c) Refinement with quantized inner engines.
+		for _, v := range []struct {
+			label string
+			cfg   core.ClusterConfig
+		}{
+			{"refine reduced-slice 8b", core.ReducedSliceConfig(8)},
+			{"refine block-exp 8b/w12", core.BlockExpConfig(8, 12)},
+		} {
+			eng, err := accel.NewEngine(plan, v.cfg, opt.seed)
+			if err != nil {
+				return err
+			}
+			eng.TakeStats()
+			rres, err := solver.Refine(solver.CSROperator{M: m}, eng, b,
+				solver.RefineOptions{Tol: mixedprecTol, MaxOuter: 60})
+			if err != nil {
+				return err
+			}
+			conv := eng.TakeStats().Conversions
+			ratio := float64(conv) / float64(fullConv)
+			tr := trueRes(rres.X)
+			t.Add(c.name, v.label, rres.Outer, rres.InnerIterations,
+				fmt.Sprintf("%.2e", tr), conv, fmt.Sprintf("%.2fx", ratio),
+				fmt.Sprintf("%.2f", float64(conv)*adcJ*1e6))
+			if opt.gate != "" {
+				if !rres.Converged || tr > mixedprecTol {
+					gateFailures = append(gateFailures, fmt.Sprintf(
+						"%s/%s: true residual %.2e > %.0e", c.name, v.label, tr, mixedprecTol))
+				}
+				if ratio > gateThreshold {
+					gateFailures = append(gateFailures, fmt.Sprintf(
+						"%s/%s: ADC-conversion ratio %.3f > committed threshold %.3f",
+						c.name, v.label, ratio, gateThreshold))
+				}
+			}
+		}
+
+		// (d) Refinement with the lowprec fixed-point datapath as the
+		// inner operator (no ADC counters: it models a digital datapath).
+		op, err := lowprec.New(m, 8, 512)
+		if err != nil {
+			return err
+		}
+		inner, ref := op.ForRefinement()
+		rres, err := solver.Refine(ref, inner, b,
+			solver.RefineOptions{Tol: mixedprecTol, MaxOuter: 60})
+		if err != nil {
+			return err
+		}
+		t.Add(c.name, "refine lowprec 8b", rres.Outer, rres.InnerIterations,
+			fmt.Sprintf("%.2e", trueRes(rres.X)), "-", "-", "-")
+	}
+	emit(t, opt)
+
+	fmt.Println("\nMixed-precision iterative refinement (Le Gallo et al.): the inner Krylov")
+	fmt.Println("solve runs on a reduced-slice or block-exponent engine while the fp64 outer")
+	fmt.Println("loop recomputes true residuals — same 1e-10 accuracy as the bit-exact")
+	fmt.Println("pipeline at a fraction of the ADC conversions.")
+
+	if opt.gate != "" {
+		if len(gateFailures) > 0 {
+			for _, f := range gateFailures {
+				fmt.Fprintf(os.Stderr, "mixedprec gate FAIL: %s\n", f)
+			}
+			return fmt.Errorf("mixedprec gate: %d check(s) failed against %s", len(gateFailures), opt.gate)
+		}
+		fmt.Printf("\nmixedprec gate PASS: all accel refinement runs converged to %.0e with ADC ratio <= %.3f\n",
+			mixedprecTol, gateThreshold)
+	}
+	return nil
+}
+
+// readGateThreshold parses the committed ADC-conversion-ratio threshold:
+// the first non-comment, non-blank line of the file as a float.
+func readGateThreshold(path string) (float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			return 0, fmt.Errorf("parsing gate threshold %q in %s: %w", line, path, err)
+		}
+		if v <= 0 {
+			return 0, fmt.Errorf("gate threshold in %s must be positive, got %g", path, v)
+		}
+		return v, nil
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return 0, fmt.Errorf("no threshold value found in %s", path)
+}

@@ -68,6 +68,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "device-error seed base for programmed engines")
 	inject := flag.Bool("inject-errors", false, "enable the analog device-error model")
 	refresh := flag.Bool("refresh", false, "arm the AN-code-driven online refresh policy on programmed engines")
+	refineBits := flag.Int("refine-bits", serve.DefaultRefineBits, "significand bits of the mode:refine inner engines")
+	refineWindow := flag.Int("refine-window", 0, "per-block exponent window of the mode:refine inner engines (0 = full alignment, ReFloat-style when set)")
 	refreshRate := flag.Float64("refresh-rate", 0, "windowed AN detection-rate threshold that triggers a cluster refresh (0 = policy default)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown grace period for queued and in-flight solves")
 	traceRing := flag.Int("trace-ring", 64, "recent solve traces kept for /debug/traces")
@@ -104,6 +106,12 @@ func main() {
 	ccfg := core.DefaultClusterConfig()
 	ccfg.InjectErrors = *inject
 
+	rcfg := core.ReducedSliceConfig(*refineBits)
+	if *refineWindow > 0 {
+		rcfg = core.BlockExpConfig(*refineBits, *refineWindow)
+	}
+	rcfg.InjectErrors = *inject
+
 	var policy *accel.RefreshPolicy
 	if *refresh {
 		p := accel.DefaultRefreshPolicy()
@@ -133,6 +141,7 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		SolveTimeout:   *solveTimeout,
 		Cluster:        ccfg,
+		RefineCluster:  rcfg,
 		Seed:           *seed,
 		Refresh:        policy,
 		Cache: serve.CacheConfig{

@@ -111,7 +111,7 @@ func buildEngineBlock(plan *blocking.Plan, cfg core.ClusterConfig, seedBase int6
 	if err != nil {
 		return nil, err
 	}
-	blk, err := core.NewBlock(rows, cols, coefs, core.MaxPadBits)
+	blk, err := core.NewBlockQuant(rows, cols, coefs, core.MaxPadBits, cfg.MatrixQuant)
 	if err != nil {
 		return nil, fmt.Errorf("accel: block at (%d,%d): %w", b.RowOff, b.ColOff, err)
 	}

@@ -1,0 +1,107 @@
+package accel
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"memsci/internal/core"
+)
+
+// Golden determinism gate for the mixed-precision inner-engine presets:
+// with the same seed, a reduced-slice or block-exponent engine must be
+// bit-identical across serial execution, parallel fan-out, a fork, and a
+// from-scratch rebuild — the property the refinement driver's
+// reproducibility (and the engine cache's correctness) rests on. Run
+// under -race in CI, this also exercises the parallel path for races.
+func TestQuantEngineGoldenEquivalence(t *testing.T) {
+	presets := []struct {
+		name string
+		cfg  core.ClusterConfig
+	}{
+		{"reduced8", core.ReducedSliceConfig(8)},
+		{"blockexp8w12", core.BlockExpConfig(8, 12)},
+	}
+	for _, p := range presets {
+		t.Run(p.name, func(t *testing.T) {
+			m, plan := smallSystem(t, 256)
+			cfg := p.cfg
+			cfg.InjectErrors = true // error model on: the RNG streams must stay aligned too
+
+			serial, err := NewEngine(plan, cfg, 31)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial.Parallelism = 1
+			par, err := NewEngine(plan, cfg, 31)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par.Parallelism = 8
+			rebuilt, err := NewEngine(plan, cfg, 31)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rebuilt.Parallelism = 4
+			fork := serial.Fork()
+			fork.Parallelism = 8
+			if serial.Clusters() < 2 {
+				t.Fatalf("test system has %d clusters; parallelism untested", serial.Clusters())
+			}
+
+			rng := rand.New(rand.NewSource(17))
+			x := make([]float64, m.Cols())
+			ys := make([]float64, m.Rows())
+			yp := make([]float64, m.Rows())
+			yr := make([]float64, m.Rows())
+			yf := make([]float64, m.Rows())
+			for round := 0; round < 3; round++ {
+				for i := range x {
+					x[i] = rng.NormFloat64()
+				}
+				serial.Apply(ys, x)
+				par.Apply(yp, x)
+				rebuilt.Apply(yr, x)
+				fork.Apply(yf, x)
+				for i := range ys {
+					if ys[i] != yp[i] || ys[i] != yr[i] || ys[i] != yf[i] {
+						t.Fatalf("round %d row %d: serial %x parallel %x rebuilt %x fork %x",
+							round, i, ys[i], yp[i], yr[i], yf[i])
+					}
+				}
+			}
+			ss, ps := serial.Stats(), par.Stats()
+			ss.ColumnSlicesUsed, ps.ColumnSlicesUsed = nil, nil
+			if !reflect.DeepEqual(ss, ps) {
+				t.Errorf("stats diverge:\nserial   %+v\nparallel %+v", ss, ps)
+			}
+		})
+	}
+}
+
+// A reduced-slice engine must beat the full-precision engine on ADC
+// conversions for the same work — the entire point of the preset.
+func TestQuantEngineFewerConversions(t *testing.T) {
+	m, plan := smallSystem(t, 192)
+	full, err := NewEngine(plan, core.DefaultClusterConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := NewEngine(plan, core.ReducedSliceConfig(8), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	x := make([]float64, m.Cols())
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, m.Rows())
+	full.Apply(y, x)
+	red.Apply(y, x)
+	fc, rc := full.Stats().Conversions, red.Stats().Conversions
+	if rc*2 > fc {
+		t.Fatalf("reduced-slice conversions %d not at least 2x below full %d", rc, fc)
+	}
+	t.Logf("conversions: full %d, reduced %d (%.2fx)", fc, rc, float64(rc)/float64(fc))
+}

@@ -32,11 +32,28 @@ type BlockCode struct {
 	// MinExp and MaxExp are the leading-digit exponents spanned by the
 	// nonzero values (equal when there is a single exponent).
 	MinExp, MaxExp int
-	// Width is the magnitude width in bits: 53 + (MaxExp − MinExp).
+	// Width is the magnitude width in bits: mant + (MaxExp − MinExp),
+	// where mant is 53 for the exact encoding and Mant under a Quant.
 	Width int
 	// Empty marks a code built from no nonzero values (all-zero block);
 	// every encoding under it is zero.
 	Empty bool
+	// Mant is the retained significand width for quantized codes; 0
+	// selects the exact 53-bit encoding (the zero value keeps every
+	// pre-existing code bit-identical).
+	Mant int
+	// Clamped marks a code whose MinExp was raised by a Quant Window:
+	// values with exponents below MinExp denormalize toward zero when
+	// encoded instead of panicking.
+	Clamped bool
+}
+
+// mantBits resolves the code's significand width.
+func (c BlockCode) mantBits() int {
+	if c.Mant == 0 {
+		return MantissaBits
+	}
+	return c.Mant
 }
 
 // Scale returns the power-of-two exponent s such that a fixed-point
@@ -45,7 +62,7 @@ func (c BlockCode) Scale() int {
 	if c.Empty {
 		return 0
 	}
-	return c.MinExp - (MantissaBits - 1)
+	return c.MinExp - (c.mantBits() - 1)
 }
 
 // PadBits returns the worst-case alignment padding used by the code; the
@@ -77,14 +94,7 @@ func (c BlockCode) UnsignedBits() int {
 // MaxPadBits for the hardware limit). Zeros are ignored; they encode to 0
 // under any code.
 func NewBlockCode(vals []float64, maxPad int) (BlockCode, error) {
-	minE, maxE, any := expRange(vals)
-	if !any {
-		return BlockCode{Empty: true}, nil
-	}
-	if maxE-minE > maxPad {
-		return BlockCode{}, fmt.Errorf("%w: spread %d > %d", ErrExponentRange, maxE-minE, maxPad)
-	}
-	return BlockCode{MinExp: minE, MaxExp: maxE, Width: MantissaBits + (maxE - minE)}, nil
+	return NewBlockCodeQuant(vals, maxPad, Quant{})
 }
 
 func expRange(vals []float64) (minE, maxE int, any bool) {
@@ -108,7 +118,10 @@ func expRange(vals []float64) (minE, maxE int, any bool) {
 }
 
 // Encode converts one value into its signed aligned fixed-point integer
-// under the code. The conversion is exact: Decode(Encode(v)) == v.
+// under the code. For exact (unquantized) codes the conversion is exact:
+// Decode(Encode(v)) == v. Quantized codes truncate the significand
+// toward zero and flush values below a clamped window, so the round trip
+// returns the quantized value instead.
 func (c BlockCode) Encode(v float64) *big.Int {
 	z := new(big.Int)
 	c.encodeInto(z, v)
@@ -128,11 +141,32 @@ func (c BlockCode) encodeInto(z *big.Int, v float64) {
 		panic("core: encoding nonzero value under empty block code")
 	}
 	shift := d.Exp - c.MinExp
-	if shift < 0 || shift > c.Width-MantissaBits {
+	if c.Mant == 0 && !c.Clamped {
+		if shift < 0 || shift > c.Width-MantissaBits {
+			panic(fmt.Sprintf("core: value exponent %d outside block code [%d,%d]", d.Exp, c.MinExp, c.MaxExp))
+		}
+		z.SetUint64(d.Mant)
+		z.Lsh(z, uint(shift))
+		if d.Neg {
+			z.Neg(z)
+		}
+		return
+	}
+	// Quantized path: keep mantBits of significand (truncated toward
+	// zero, so the leading bit survives and F stays below 2^Width), then
+	// align. A clamped code makes shift negative for values below the
+	// window; the net right-shift denormalizes them toward zero — the
+	// ReFloat flush under a shared block exponent.
+	if shift > c.MaxExp-c.MinExp {
 		panic(fmt.Sprintf("core: value exponent %d outside block code [%d,%d]", d.Exp, c.MinExp, c.MaxExp))
 	}
+	net := shift - (MantissaBits - c.mantBits())
 	z.SetUint64(d.Mant)
-	z.Lsh(z, uint(shift))
+	if net >= 0 {
+		z.Lsh(z, uint(net))
+	} else {
+		z.Rsh(z, uint(-net))
+	}
 	if d.Neg {
 		z.Neg(z)
 	}
@@ -154,7 +188,7 @@ func (c BlockCode) Fits(v float64) bool {
 		return false
 	}
 	e := Exponent(v)
-	return e >= c.MinExp && e <= c.MaxExp
+	return e <= c.MaxExp && (c.Clamped || e >= c.MinExp)
 }
 
 // CombinedScale returns the scale of a dot product between integers

@@ -38,6 +38,17 @@ type Block struct {
 // outside the range make the whole constructor fail — the blocking
 // preprocessor removes such elements *before* building blocks.
 func NewBlock(m, n int, coefs []Coef, maxPad int) (*Block, error) {
+	return NewBlockQuant(m, n, coefs, maxPad, Quant{})
+}
+
+// NewBlockQuant is NewBlock under a quantization policy: coefficients are
+// encoded with truncated significands (and, under a Window, a clamped
+// shared exponent), so the block programs into fewer bit-slice planes.
+// The zero Quant reproduces NewBlock exactly. Vals always stores the
+// original doubles; only the fixed-point image F is quantized, and the
+// early-termination row bounds are computed from F, so they remain valid
+// bounds for the quantized arithmetic.
+func NewBlockQuant(m, n int, coefs []Coef, maxPad int, q Quant) (*Block, error) {
 	if m <= 0 || n <= 0 {
 		return nil, fmt.Errorf("core: block dimensions %dx%d", m, n)
 	}
@@ -48,7 +59,7 @@ func NewBlock(m, n int, coefs []Coef, maxPad int) (*Block, error) {
 		}
 		vals[i] = c.Val
 	}
-	code, err := NewBlockCode(vals, maxPad)
+	code, err := NewBlockCodeQuant(vals, maxPad, q)
 	if err != nil {
 		return nil, err
 	}
@@ -130,10 +141,18 @@ func (b *Block) StoredBits() int { return b.Code.UnsignedBits() }
 // hardware model): y_i = Round(Σ_j F[i][j]·X_j · 2^scale). It is the
 // reference the cluster engine is tested against.
 func (b *Block) MulVecExact(x []float64, mode RoundingMode) ([]float64, error) {
+	return b.MulVecExactQuant(x, mode, Quant{})
+}
+
+// MulVecExactQuant is MulVecExact with the input vector encoded under a
+// quantization policy, the oracle for clusters running with a
+// VectorQuant: the exact integer product of the (possibly quantized)
+// block image F with the quantized vector image.
+func (b *Block) MulVecExactQuant(x []float64, mode RoundingMode, q Quant) ([]float64, error) {
 	if len(x) != b.N {
 		return nil, fmt.Errorf("core: vector length %d != block cols %d", len(x), b.N)
 	}
-	vs, err := SliceVector(x, DefaultVectorMaxPad)
+	vs, err := SliceVectorQuant(x, DefaultVectorMaxPad, q)
 	if err != nil {
 		return nil, err
 	}

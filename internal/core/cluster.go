@@ -44,6 +44,16 @@ type ClusterConfig struct {
 	// bit-identical (enforced by golden equivalence tests); the reference
 	// path exists as the semantic oracle, not as a fallback.
 	ReferenceMVM bool
+	// MatrixQuant reduces the stored matrix encoding for mixed-precision
+	// operation. The cluster itself programs whatever Block it is handed;
+	// this field is the contract that the block was built with the same
+	// policy (NewEngine passes it to NewBlockQuant) and makes the engine
+	// configuration self-describing for cache fingerprints.
+	MatrixQuant Quant
+	// VectorQuant reduces the sliced input-vector encoding: fewer slice
+	// applications per MulVec, hence fewer ADC conversions. The zero
+	// value is the exact scheme.
+	VectorQuant Quant
 }
 
 // DefaultClusterConfig returns the paper's evaluation configuration:
@@ -58,6 +68,31 @@ func DefaultClusterConfig() ClusterConfig {
 		MaxCorrectCount: 1,
 		VectorMaxPad:    DefaultVectorMaxPad,
 	}
+}
+
+// ReducedSliceConfig returns the paper's evaluation configuration with
+// matrix and vector operands truncated to `bits` significand bits (full
+// exponent alignment retained). It is the cheap inner engine for
+// solver.Refine: slice counts — and with them ADC conversions — drop
+// roughly quadratically in the significand width, while the fp64 outer
+// refinement loop restores full accuracy.
+func ReducedSliceConfig(bits int) ClusterConfig {
+	c := DefaultClusterConfig()
+	c.MatrixQuant = Quant{Mant: bits}
+	c.VectorQuant = Quant{Mant: bits}
+	return c
+}
+
+// BlockExpConfig returns the ReFloat-style configuration: `bits`
+// significand bits plus a shared per-block exponent window of `window`
+// bits. Values whose exponents fall below the window denormalize toward
+// zero, which caps alignment padding — and therefore plane and slice
+// counts — even on blocks with wide dynamic range.
+func BlockExpConfig(bits, window int) ClusterConfig {
+	c := DefaultClusterConfig()
+	c.MatrixQuant = Quant{Mant: bits, Window: window}
+	c.VectorQuant = Quant{Mant: bits, Window: window}
+	return c
 }
 
 // ComputeStats aggregates the observable costs of cluster MVM operations,
@@ -209,6 +244,12 @@ func NewCluster(block *Block, cfg ClusterConfig) (*Cluster, error) {
 	}
 	if cfg.MaxCorrectCount == 0 {
 		cfg.MaxCorrectCount = 1
+	}
+	if err := cfg.MatrixQuant.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.VectorQuant.Validate(); err != nil {
+		return nil, err
 	}
 	c := &Cluster{cfg: cfg, block: block, bias: block.Code.Bias()}
 	c.planeBits = cfg.Device.BitsPerCell

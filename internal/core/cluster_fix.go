@@ -71,7 +71,7 @@ func (c *Cluster) mulVecFix(x []float64) ([]float64, error) {
 		return nil, fmt.Errorf("core: vector length %d != block cols %d", len(x), b.N)
 	}
 	ar := &c.arena
-	if err := SliceVectorInto(&ar.vs, x, c.cfg.VectorMaxPad); err != nil {
+	if err := SliceVectorQuantInto(&ar.vs, x, c.cfg.VectorMaxPad, c.cfg.VectorQuant); err != nil {
 		return nil, err
 	}
 	vs := &ar.vs

@@ -25,7 +25,10 @@ func (c *Cluster) mulVecRef(x []float64) ([]float64, error) {
 	if len(x) != b.N {
 		return nil, fmt.Errorf("core: vector length %d != block cols %d", len(x), b.N)
 	}
-	vs, err := SliceVector(x, c.cfg.VectorMaxPad)
+	// The quant-aware slicer with the zero Quant is bit-identical to the
+	// original SliceVector, so the frozen behavior is preserved for every
+	// pre-existing configuration.
+	vs, err := SliceVectorQuant(x, c.cfg.VectorMaxPad, c.cfg.VectorQuant)
 	if err != nil {
 		return nil, err
 	}

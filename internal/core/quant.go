@@ -1,0 +1,99 @@
+package core
+
+import "fmt"
+
+// Quant selects a reduced-precision block encoding for mixed-precision
+// operation. The paper's scheme is exact: 53 mantissa bits aligned across
+// the block's full exponent spread. Follow-on work showed iterative
+// solvers tolerate far cheaper inner operators — Mixed-Precision
+// In-Memory Computing (Le Gallo et al.) wraps a low-precision solve in an
+// fp64 refinement loop, and ReFloat keeps ReRAM slice counts low with a
+// per-block shared exponent and short significands. Quant models both
+// levers:
+//
+//   - Mant truncates every operand to the given significand width
+//     (toward zero), shrinking the encoded magnitude width — and with it
+//     the number of bit-slice planes and vector slices, hence ADC
+//     conversions — from 53+pad to Mant+pad bits.
+//   - Window caps the block's exponent spread: instead of failing on a
+//     wide block, the shared minimum exponent is raised to MaxExp−Window
+//     and values below the window denormalize (right-shift) toward zero,
+//     exactly ReFloat's flush behavior under a per-block exponent.
+//
+// The zero value is the exact full-precision scheme; every existing
+// configuration therefore behaves bit-identically.
+type Quant struct {
+	// Mant is the retained significand width in bits, 2..53; 0 selects
+	// the exact 53-bit encoding.
+	Mant int
+	// Window caps the exponent spread of a block code; 0 means no cap
+	// (spread beyond maxPad stays an error). When a block's spread
+	// exceeds Window, the shared minimum exponent is clamped up and
+	// small values flush toward zero.
+	Window int
+}
+
+// Enabled reports whether the quant departs from the exact encoding.
+func (q Quant) Enabled() bool { return q.Mant != 0 || q.Window != 0 }
+
+// Validate checks the parameter ranges.
+func (q Quant) Validate() error {
+	if q.Mant != 0 && (q.Mant < 2 || q.Mant > MantissaBits) {
+		return fmt.Errorf("core: quant significand %d bits out of range [2,%d]", q.Mant, MantissaBits)
+	}
+	if q.Window < 0 {
+		return fmt.Errorf("core: quant window %d negative", q.Window)
+	}
+	return nil
+}
+
+// mant resolves the effective significand width.
+func (q Quant) mant() int {
+	if q.Mant == 0 {
+		return MantissaBits
+	}
+	return q.Mant
+}
+
+// NewBlockCodeQuant derives the shared encoding for a set of values under
+// a quantization policy. With the zero Quant it is exactly NewBlockCode.
+// A Window turns the over-spread error into a clamp: the code keeps the
+// top Window exponents and marks itself Clamped, so encoding flushes
+// out-of-window values toward zero instead of panicking.
+func NewBlockCodeQuant(vals []float64, maxPad int, q Quant) (BlockCode, error) {
+	if err := q.Validate(); err != nil {
+		return BlockCode{}, err
+	}
+	minE, maxE, any := expRange(vals)
+	if !any {
+		return BlockCode{Empty: true}, nil
+	}
+	clamped := false
+	if q.Window > 0 && maxE-minE > q.Window {
+		minE = maxE - q.Window
+		clamped = true
+	}
+	if maxE-minE > maxPad {
+		return BlockCode{}, fmt.Errorf("%w: spread %d > %d", ErrExponentRange, maxE-minE, maxPad)
+	}
+	return BlockCode{
+		MinExp:  minE,
+		MaxExp:  maxE,
+		Width:   q.mant() + (maxE - minE),
+		Mant:    q.Mant,
+		Clamped: clamped,
+	}, nil
+}
+
+// SliceVectorQuant is SliceVector under a quantization policy: the
+// segment is aligned to the (possibly clamped) shared exponent and each
+// element truncated to the quant's significand width before slicing, so
+// the two's-complement width — and the number of slice applications the
+// cluster pays for — drops from 53+pad+1 to Mant+pad+1 bits.
+func SliceVectorQuant(vals []float64, maxPad int, q Quant) (*VectorSlices, error) {
+	vs := new(VectorSlices)
+	if err := SliceVectorQuantInto(vs, vals, maxPad, q); err != nil {
+		return nil, err
+	}
+	return vs, nil
+}

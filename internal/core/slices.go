@@ -59,7 +59,13 @@ func SliceVector(vals []float64, maxPad int) (*VectorSlices, error) {
 // Once vs has seen its widest segment it performs no heap allocations.
 // On error vs is left unusable and must not be fed to a cluster.
 func SliceVectorInto(vs *VectorSlices, vals []float64, maxPad int) error {
-	code, err := NewBlockCode(vals, maxPad)
+	return SliceVectorQuantInto(vs, vals, maxPad, Quant{})
+}
+
+// SliceVectorQuantInto is SliceVectorInto under a quantization policy
+// (the zero Quant reproduces the exact encoding bit for bit).
+func SliceVectorQuantInto(vs *VectorSlices, vals []float64, maxPad int, q Quant) error {
+	code, err := NewBlockCodeQuant(vals, maxPad, q)
 	if err != nil {
 		return fmt.Errorf("vector segment: %w", err)
 	}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"memsci/internal/solver"
 	"memsci/internal/sparse"
 )
 
@@ -70,6 +71,13 @@ func quantize(v, max float64, bits int) float64 {
 	}
 	levels := float64(int64(1) << (bits - 1)) // codes in [-2^(b-1), 2^(b-1))
 	step := max / (levels - 1)
+	if step == 0 {
+		// max is a denormal so tiny the step underflowed: every code
+		// collapses onto zero. Without this guard v/step is 0/0 = NaN for
+		// the zero entries of the block (the clamps below pass NaN
+		// through), so one denormal scale poisoned the whole product.
+		return 0
+	}
 	q := math.RoundToEven(v / step)
 	if q > levels-1 {
 		q = levels - 1
@@ -86,7 +94,9 @@ func (o *Operator) Rows() int { return o.m.Rows() }
 // Cols returns the operator's column count.
 func (o *Operator) Cols() int { return o.m.Cols() }
 
-// Apply computes y = Q(A)·Q(x).
+// Apply computes y = Q(A)·Q(x). The vector scale is recomputed per call;
+// an all-zero (or fully underflowing) input quantizes to the zero vector
+// and yields the defined zero result rather than touching the datapath.
 func (o *Operator) Apply(y, x []float64) {
 	// Vector quantization: one global scale per application (the DAC's
 	// full-scale range).
@@ -95,6 +105,12 @@ func (o *Operator) Apply(y, x []float64) {
 		if a := math.Abs(v); a > max {
 			max = a
 		}
+	}
+	if max == 0 {
+		for i := range y {
+			y[i] = 0
+		}
+		return
 	}
 	m := o.m
 	for i := 0; i < m.Rows(); i++ {
@@ -123,3 +139,18 @@ func (o *Operator) QuantizationError() float64 {
 
 // Bits returns the datapath width.
 func (o *Operator) Bits() int { return o.bits }
+
+// Matrix returns the underlying unquantized system.
+func (o *Operator) Matrix() *sparse.CSR { return o.m }
+
+// ForRefinement adapts the operator for mixed-precision iterative
+// refinement: it returns the receiver as the cheap inner operator and
+// the exact fp64 CSR path over the same system as the reference the
+// outer loop recomputes true residuals on — the pair solver.Refine
+// consumes. A fixed-point datapath that stalls a direct Krylov solve at
+// its quantization floor (the `motivation` experiment) reaches fp64
+// tolerances under refinement, because every sweep only needs ~1e-2
+// residual reduction from the quantized operator.
+func (o *Operator) ForRefinement() (inner, ref solver.Operator) {
+	return o, solver.CSROperator{M: o.m}
+}

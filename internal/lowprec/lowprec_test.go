@@ -1,6 +1,7 @@
 package lowprec
 
 import (
+	"math"
 	"testing"
 
 	"memsci/internal/matgen"
@@ -110,5 +111,100 @@ func TestZeroMatrixBlock(t *testing.T) {
 	op.Apply(y, x)
 	if y[0] != 0 || y[3] == 0 {
 		t.Errorf("zero-block handling: %v", y)
+	}
+}
+
+// Regression: scale underflow must yield defined zeros, never NaN. A
+// denormal vector entry so small that step = max/(levels−1) underflows to
+// zero used to make quantize return 0/0 = NaN for every OTHER entry of
+// the vector, poisoning the whole product; a denormal matrix block did
+// the same to qvals at construction.
+func TestDenormalScaleNoNaN(t *testing.T) {
+	coo := sparse.NewCOO(2, 2)
+	coo.Add(0, 0, 2)
+	coo.Add(1, 1, 2)
+	m := coo.ToCSR()
+	op, err := New(m, 8, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, 2)
+
+	// Vector whose max is the smallest denormal: step underflows.
+	op.Apply(y, []float64{5e-324, 0})
+	for i, v := range y {
+		if math.IsNaN(v) {
+			t.Fatalf("denormal input vector: y[%d] is NaN", i)
+		}
+		if v != 0 {
+			t.Fatalf("fully underflowing input quantized to nonzero y[%d] = %g", i, v)
+		}
+	}
+
+	// All-zero vector: the documented fast path.
+	op.Apply(y, []float64{0, 0})
+	for i, v := range y {
+		if v != 0 || math.Signbit(v) {
+			t.Fatalf("zero input: y[%d] = %g", i, v)
+		}
+	}
+
+	// A block whose largest magnitude is denormal: construction must
+	// flush the block to zero, not NaN.
+	coo2 := sparse.NewCOO(2, 2)
+	coo2.Add(0, 0, 5e-324)
+	coo2.Add(0, 1, 0)
+	coo2.Add(1, 1, 5e-324)
+	m2 := coo2.ToCSR()
+	op2, err := New(m2, 8, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op2.Apply(y, []float64{1, 1})
+	for i, v := range y {
+		if math.IsNaN(v) {
+			t.Fatalf("denormal matrix block: y[%d] is NaN", i)
+		}
+	}
+}
+
+// ForRefinement returns the quantized datapath as the inner operator and
+// the exact CSR path as the reference; refinement over that pair must
+// reach a tolerance the direct low-precision solve stalls far above.
+// (12-bit: coarse enough to stall the direct solve at ~1e-2, accurate
+// enough that each sweep's correction still reduces the true residual —
+// an 8-bit datapath on this system is past its stagnation point.)
+func TestForRefinementConverges(t *testing.T) {
+	m := testSystem(t)
+	op, err := New(m, 12, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, ref := op.ForRefinement()
+	if inner.(*Operator) != op {
+		t.Fatal("inner operator is not the receiver")
+	}
+	b := sparse.Ones(m.Rows())
+
+	direct, err := solver.CG(op, b, solver.Options{Tol: 1e-10, MaxIter: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueRes := func(x []float64) float64 {
+		return sparse.Norm2(sparse.Residual(m, x, b)) / sparse.Norm2(b)
+	}
+	if tr := trueRes(direct.X); tr < 1e-4 {
+		t.Fatalf("direct 12-bit solve reached %g; the stall premise broke", tr)
+	}
+
+	rres, err := solver.Refine(ref, inner, b, solver.RefineOptions{Tol: 1e-8, MaxOuter: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rres.Converged {
+		t.Fatalf("refinement did not converge: %+v", rres)
+	}
+	if tr := trueRes(rres.X); tr > 1e-8 {
+		t.Fatalf("refined true residual %g > 1e-8", tr)
 	}
 }

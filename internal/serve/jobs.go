@@ -343,11 +343,13 @@ func (s *Server) recoverJob(job *jobs.Job) {
 	}
 }
 
-// batchable: only accel CG jobs without a trace request coalesce — CG is
-// the lockstep driver CGBatch implements, and the accel backend is where
-// batching pays (one programmed engine, multi-RHS ApplyBatch).
+// batchable: only direct accel CG jobs without a trace request coalesce —
+// CG is the lockstep driver CGBatch implements, and the accel backend is
+// where batching pays (one programmed engine, multi-RHS ApplyBatch).
+// Refine-mode jobs never batch: their outer loops advance at
+// data-dependent rates, so there is no lockstep to share.
 func batchable(sp *solveSpec) bool {
-	return sp.method == "cg" && sp.backend == "accel" && !sp.req.Trace
+	return sp.method == "cg" && sp.backend == "accel" && !sp.req.Trace && sp.mode == ""
 }
 
 // compatible: two jobs may share a batch when they hash to the same

@@ -47,7 +47,14 @@ type Config struct {
 	// the policy threshold are re-programmed between solves, and the
 	// work appears in /metrics and in per-solve responses.
 	Refresh *accel.RefreshPolicy
-	// Cache sizes the engine cache.
+	// RefineCluster is the reduced-precision hardware configuration the
+	// refinement inner engines are programmed with (zero value =
+	// core.ReducedSliceConfig(8)). Refine-mode solves lease from a
+	// second engine cache keyed by this configuration, so direct and
+	// refine solves of the same matrix never share an engine.
+	RefineCluster core.ClusterConfig
+	// Cache sizes the engine cache (both the direct and the refine cache
+	// use this sizing independently).
 	Cache CacheConfig
 	// Logger receives structured request and solve logs (nil = discard;
 	// cmd/memserve passes a text handler on stderr).
@@ -129,6 +136,9 @@ func (c Config) withDefaults() Config {
 	if c.Cluster.Device.BitsPerCell == 0 {
 		c.Cluster = core.DefaultClusterConfig()
 	}
+	if c.RefineCluster.Device.BitsPerCell == 0 {
+		c.RefineCluster = core.ReducedSliceConfig(DefaultRefineBits)
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.DiscardHandler)
 	}
@@ -182,12 +192,16 @@ func (c Config) withDefaults() Config {
 // down. Servers that run async jobs hold a worker pool — call Close
 // when discarding the server.
 type Server struct {
-	cfg     Config
-	cache   *Cache
-	metrics *Metrics
-	traces  *obs.TraceRing
-	logger  *slog.Logger
-	mux     *http.ServeMux
+	cfg   Config
+	cache *Cache
+	// refineCache holds the reduced-precision inner engines for
+	// mode:"refine" solves; its fingerprints embed RefineCluster, so its
+	// keys never collide with the direct cache's.
+	refineCache *Cache
+	metrics     *Metrics
+	traces      *obs.TraceRing
+	logger      *slog.Logger
+	mux         *http.ServeMux
 
 	store   *jobs.Store
 	queue   *workQueue
@@ -224,6 +238,8 @@ func New(cfg Config) *Server {
 	s := &Server{cfg: cfg, logger: cfg.Logger}
 	s.cache = NewCache(cfg.Cache, cfg.Cluster, cfg.Seed)
 	s.cache.refresh = cfg.Refresh
+	s.refineCache = NewCache(cfg.Cache, cfg.RefineCluster, cfg.Seed)
+	s.refineCache.refresh = cfg.Refresh
 	s.store = jobs.NewStore(jobs.StoreConfig{Capacity: cfg.JobCapacity, TTL: cfg.JobTTL})
 	s.queue = newWorkQueue(cfg.QueueDepth)
 	s.sem = make(chan struct{}, cfg.MaxConcurrent)
@@ -310,6 +326,10 @@ func (s *Server) EffectiveConfig() map[string]any {
 			"pool_size":          s.cache.poolSize,
 			"engine_parallelism": s.cache.par,
 		},
+		"refine": map[string]any{
+			"mant_bits":  c.RefineCluster.MatrixQuant.Mant,
+			"exp_window": c.RefineCluster.MatrixQuant.Window,
+		},
 		"tracing":          !c.DisableTracing,
 		"node_id":          c.NodeID,
 		"peers":            peers,
@@ -355,6 +375,22 @@ type SolveRequest struct {
 	Restart int `json:"restart,omitempty"`
 	// Jacobi enables diagonal preconditioning (cg and bicgstab only).
 	Jacobi bool `json:"jacobi,omitempty"`
+	// Mode selects the solve strategy: "direct" (default) runs the
+	// requested method to Tol on the chosen backend; "refine" runs
+	// mixed-precision iterative refinement — the inner method on a cheap
+	// reduced-precision operator (a RefineCluster engine for the accel
+	// backend, the lowprec fixed-point datapath for csr) inside an fp64
+	// outer loop that recomputes true residuals on the reference CSR
+	// path. Refine supports methods cg and bicgstab (auto picks between
+	// them) and defaults Tol to 1e-10.
+	Mode string `json:"mode,omitempty"`
+	// InnerTol is the relative reduction demanded from the inner
+	// operator per refinement sweep (0 = 1e-2); InnerMaxIter caps each
+	// inner solve (0 = 10·n); MaxOuter caps refinement sweeps (0 = 40).
+	// Refine mode only.
+	InnerTol     float64 `json:"inner_tol,omitempty"`
+	InnerMaxIter int     `json:"inner_max_iter,omitempty"`
+	MaxOuter     int     `json:"max_outer,omitempty"`
 	// TimeoutMS overrides the server's default solve deadline, capped
 	// at the server's maximum.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -389,8 +425,16 @@ type SolveResponse struct {
 	Breakdown  bool      `json:"breakdown,omitempty"`
 	Method     string    `json:"method"`
 	Backend    string    `json:"backend"`
-	Rows       int       `json:"rows"`
-	NNZ        int       `json:"nnz"`
+	// Mode is "refine" for mixed-precision refinement solves (omitted
+	// for direct solves); Outer counts refinement sweeps and
+	// InnerIterations the inner Krylov iterations summed across them
+	// (Iterations mirrors InnerIterations so existing dashboards keep
+	// counting work).
+	Mode            string `json:"mode,omitempty"`
+	Outer           int    `json:"outer,omitempty"`
+	InnerIterations int    `json:"inner_iterations,omitempty"`
+	Rows            int    `json:"rows"`
+	NNZ             int    `json:"nnz"`
 	// Cache and Hardware are present for the accel backend only:
 	// Hardware is the engine's compute-statistics delta for this solve.
 	Cache    *CacheInfo         `json:"cache,omitempty"`

@@ -39,6 +39,8 @@ type solveSpec struct {
 	b       []float64
 	method  string
 	backend string
+	// mode is "refine" for mixed-precision refinement, "" for direct.
+	mode    string
 	key     string
 	tenant  string
 	parseMS float64
@@ -99,6 +101,15 @@ func (s *Server) parseSolveRequest(w http.ResponseWriter, r *http.Request) *solv
 		s.fail(w, http.StatusBadRequest, fmt.Sprintf("unknown backend %q (want accel or csr)", req.Backend))
 		return nil
 	}
+	mode := strings.ToLower(req.Mode)
+	switch mode {
+	case "", "direct":
+		mode = ""
+	case "refine":
+	default:
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("unknown mode %q (want direct or refine)", req.Mode))
+		return nil
+	}
 	method := strings.ToLower(req.Method)
 	if method == "" || method == "auto" {
 		if m.IsSymmetric(1e-12) {
@@ -113,6 +124,10 @@ func (s *Server) parseSolveRequest(w http.ResponseWriter, r *http.Request) *solv
 		s.fail(w, http.StatusBadRequest, fmt.Sprintf("unknown method %q", req.Method))
 		return nil
 	}
+	if mode == "refine" && method != "cg" && method != "bicgstab" {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("refine mode supports cg and bicgstab inner solves, not %s", method))
+		return nil
+	}
 	if method == "bicg" && backend == "accel" {
 		s.fail(w, http.StatusBadRequest, "bicg needs the transpose operator; use backend csr")
 		return nil
@@ -121,10 +136,22 @@ func (s *Server) parseSolveRequest(w http.ResponseWriter, r *http.Request) *solv
 		s.fail(w, http.StatusBadRequest, fmt.Sprintf("jacobi preconditioning is not supported by %s", method))
 		return nil
 	}
+	if req.Jacobi && mode == "refine" {
+		s.fail(w, http.StatusBadRequest, "jacobi preconditioning is not supported in refine mode")
+		return nil
+	}
 
 	tenant := r.Header.Get(apiKeyHeader)
 	if tenant == "" {
 		tenant = anonymousTenant
+	}
+	// Refine-mode accel solves lease from the refine cache, so their
+	// sharding/cache key must embed the refine cluster configuration —
+	// otherwise a sharded cluster would route them to the owner of the
+	// full-precision engine and program the matrix twice.
+	ccfg := s.cfg.Cluster
+	if mode == "refine" {
+		ccfg = s.cfg.RefineCluster
 	}
 	return &solveSpec{
 		req:     req,
@@ -133,7 +160,8 @@ func (s *Server) parseSolveRequest(w http.ResponseWriter, r *http.Request) *solv
 		b:       b,
 		method:  method,
 		backend: backend,
-		key:     Fingerprint(m, s.cfg.Cluster, s.cfg.Seed),
+		mode:    mode,
+		key:     Fingerprint(m, ccfg, s.cfg.Seed),
 		tenant:  tenant,
 		parseMS: msSince(start),
 	}
@@ -170,6 +198,9 @@ func (s *Server) effectiveTimeout(req *SolveRequest) time.Duration {
 func (s *Server) executeSolve(ctx context.Context, spec *solveSpec, reqID string, extra solver.Monitor, parent *obs.Span) (*SolveResponse, error) {
 	if s.execHook != nil {
 		s.execHook()
+	}
+	if spec.mode == "refine" {
+		return s.executeRefine(ctx, spec, reqID, extra, parent)
 	}
 	start := time.Now()
 

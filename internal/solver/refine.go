@@ -1,0 +1,191 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"memsci/internal/sparse"
+)
+
+// RefineOptions configures the mixed-precision iterative-refinement
+// driver. The zero value solves to 1e-10 with a CG inner solver run at a
+// 1e-2 per-sweep reduction.
+type RefineOptions struct {
+	// Tol is the outer relative tolerance on the TRUE residual
+	// ‖b − A·x‖/‖b‖, recomputed in fp64 on the reference operator every
+	// sweep (0 = 1e-10, the scientific-computing bar of §II).
+	Tol float64
+	// MaxOuter caps refinement sweeps (0 = 40).
+	MaxOuter int
+	// Method selects the inner Krylov method: "cg" (default) or
+	// "bicgstab".
+	Method string
+	// Inner configures the inner solve of each sweep. Inner.Tol is the
+	// relative reduction demanded from the inner operator per sweep
+	// (0 = 1e-2); it cannot usefully be below the inner operator's
+	// quantization floor. Inner.Monitor fires per inner iteration as
+	// usual; Inner.Ctx defaults to Ctx.
+	Inner Options
+	// RecordResiduals stores the true residual after every sweep.
+	RecordResiduals bool
+	// Monitor, when non-nil, fires exactly once per completed outer
+	// sweep with the 1-based sweep number and the true relative
+	// residual — the outer-loop analogue of Options.Monitor.
+	Monitor Monitor
+	// Ctx, when non-nil, cancels between sweeps and, unless Inner.Ctx
+	// overrides it, inside inner solves.
+	Ctx context.Context
+}
+
+// RefineResult reports a refinement run.
+type RefineResult struct {
+	X []float64
+	// Outer counts completed refinement sweeps; InnerIterations sums the
+	// inner Krylov iterations across all sweeps.
+	Outer           int
+	InnerIterations int
+	Converged       bool
+	// Residual is the final TRUE relative residual ‖b−Ax‖/‖b‖ on the
+	// reference operator.
+	Residual  float64
+	Residuals []float64
+	// Stagnated is set when a sweep failed to reduce the true residual
+	// (the inner operator's precision floor was reached short of Tol);
+	// the non-improving correction is discarded, so X holds the best
+	// iterate seen.
+	Stagnated bool
+}
+
+// Refine solves A·x = b by mixed-precision iterative refinement (Le
+// Gallo et al.): each sweep runs the inner Krylov method on the cheap
+// operator `inner` — a reduced-slice or block-exponent accel engine, or
+// a lowprec fixed-point datapath — to obtain a correction d with
+// inner·d ≈ r, applies x += d, and recomputes the true residual
+// r = b − ref·x in fp64 on the reference operator. The loop repeats
+// until ‖r‖/‖b‖ ≤ Tol, so the final accuracy comes from the fp64 outer
+// loop while the O(n) MVM work per Krylov iteration runs on the cheap
+// operator. With inner == ref and Inner.Tol ≤ Tol the first sweep's
+// correction already meets the outer tolerance, so the driver converges
+// in exactly one sweep.
+//
+// A sweep whose correction does not strictly reduce the true residual is
+// rolled back and the run reports Stagnated: the inner operator's
+// precision floor has been reached, and — the driver being deterministic
+// — re-running the same sweep could only repeat it.
+func Refine(ref, inner Operator, b []float64, opt RefineOptions) (*RefineResult, error) {
+	if err := checkDims(ref, b); err != nil {
+		return nil, err
+	}
+	if err := checkDims(inner, b); err != nil {
+		return nil, err
+	}
+	if ref.Rows() != inner.Rows() {
+		return nil, fmt.Errorf("%w: reference operator %dx%d, inner %dx%d",
+			ErrDimension, ref.Rows(), ref.Cols(), inner.Rows(), inner.Cols())
+	}
+	method := opt.Method
+	if method == "" {
+		method = "cg"
+	}
+	if method != "cg" && method != "bicgstab" {
+		return nil, fmt.Errorf("solver: unknown inner method %q for Refine", opt.Method)
+	}
+	tol := opt.Tol
+	if tol == 0 {
+		tol = 1e-10
+	}
+	maxOuter := opt.MaxOuter
+	if maxOuter == 0 {
+		maxOuter = 40
+	}
+	iopt := opt.Inner
+	if iopt.Tol == 0 {
+		iopt.Tol = 1e-2
+	}
+	if iopt.Ctx == nil {
+		iopt.Ctx = opt.Ctx
+	}
+
+	n := len(b)
+	res := &RefineResult{X: make([]float64, n)}
+	normB := sparse.Norm2(b)
+	if normB == 0 {
+		res.Converged = true
+		return res, nil
+	}
+
+	r := sparse.CopyVec(b) // r = b − A·0
+	ax := make([]float64, n)
+	prev := make([]float64, n)
+	rn := 1.0
+	if rn <= tol {
+		res.Converged = true
+		return res, nil
+	}
+
+	for sweep := 0; sweep < maxOuter; sweep++ {
+		if opt.Ctx != nil {
+			select {
+			case <-opt.Ctx.Done():
+				res.Residual = rn
+				return res, fmt.Errorf("solver: refinement stopped after %d sweeps: %w", res.Outer, opt.Ctx.Err())
+			default:
+			}
+		}
+		// Inner solve: inner·d ≈ r to the per-sweep reduction.
+		var (
+			ires *Result
+			err  error
+		)
+		switch method {
+		case "cg":
+			ires, err = CG(inner, r, iopt)
+		case "bicgstab":
+			ires, err = BiCGSTAB(inner, r, iopt)
+		}
+		if ires != nil {
+			res.InnerIterations += ires.Iterations
+		}
+		if err != nil {
+			res.Residual = rn
+			return res, fmt.Errorf("solver: inner %s on sweep %d: %w", method, res.Outer+1, err)
+		}
+
+		// Apply the correction, then recompute the TRUE residual on the
+		// reference operator in fp64 — the step low-precision hardware
+		// cannot fake.
+		copy(prev, res.X)
+		sparse.Axpy(1, ires.X, res.X)
+		ref.Apply(ax, res.X)
+		for i := range r {
+			r[i] = b[i] - ax[i]
+		}
+		newRN := sparse.Norm2(r) / normB
+
+		if math.IsNaN(newRN) || math.IsInf(newRN, 0) || newRN >= rn {
+			// The correction did not improve the iterate: the inner
+			// operator's precision floor is reached. Roll back — the
+			// driver is deterministic, so retrying would repeat the
+			// sweep — and report stagnation at the best iterate.
+			copy(res.X, prev)
+			res.Stagnated = true
+			break
+		}
+		rn = newRN
+		res.Outer = sweep + 1
+		res.Residual = rn
+		if opt.RecordResiduals {
+			res.Residuals = append(res.Residuals, rn)
+		}
+		if opt.Monitor != nil {
+			opt.Monitor(res.Outer, rn)
+		}
+		if rn <= tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Residual = rn
+	return res, nil
+}

@@ -1,0 +1,235 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"memsci/internal/sparse"
+)
+
+// funcOp adapts a closure into an Operator for inner-operator stubs.
+type funcOp struct {
+	rows, cols int
+	apply      func(y, x []float64)
+}
+
+func (o funcOp) Rows() int            { return o.rows }
+func (o funcOp) Cols() int            { return o.cols }
+func (o funcOp) Apply(y, x []float64) { o.apply(y, x) }
+
+// roundedOp applies the exact CSR MVM, then truncates every output to an
+// 8-bit significand — a stand-in for a reduced-precision inner datapath.
+func roundedOp(m *sparse.CSR) Operator {
+	round8 := func(v float64) float64 {
+		if v == 0 {
+			return 0
+		}
+		f, e := math.Frexp(v)
+		return math.Ldexp(math.Trunc(f*256)/256, e)
+	}
+	return funcOp{rows: m.Rows(), cols: m.Cols(), apply: func(y, x []float64) {
+		m.MulVec(y, x)
+		for i := range y {
+			y[i] = round8(y[i])
+		}
+	}}
+}
+
+// roughRHS returns a deterministic non-integer RHS. (With integer data —
+// e.g. Ones on the Poisson system — every Krylov vector stays a small
+// integer, significand rounding becomes the identity, and CG's finite
+// termination solves the system exactly in one sweep, bypassing the
+// refinement loop these tests exist to exercise.)
+func roughRHS(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	return b
+}
+
+// The documented contract: with a full-precision inner operator and
+// Inner.Tol at (or below) the outer tolerance, refinement degenerates to
+// the plain Krylov solve and converges in exactly one outer sweep.
+func TestRefineExactInnerOneSweep(t *testing.T) {
+	m := poisson1D(200)
+	b := sparse.Ones(200)
+	op := CSROperator{M: m}
+	res, err := Refine(op, op, b, RefineOptions{
+		Tol:   1e-10,
+		Inner: Options{Tol: 1e-11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	if res.Outer != 1 {
+		t.Fatalf("full-precision inner took %d outer sweeps, want exactly 1", res.Outer)
+	}
+	if rn := residualNorm(m, res.X, b); rn > 1e-10 {
+		t.Fatalf("true residual %g > 1e-10", rn)
+	}
+}
+
+// An 8-bit-rounded inner operator cannot reach 1e-10 on its own, but the
+// fp64 outer loop must carry it there in a handful of sweeps.
+func TestRefineLowPrecisionInnerConverges(t *testing.T) {
+	m := poisson1D(200)
+	b := roughRHS(200, 3)
+	res, err := Refine(CSROperator{M: m}, roundedOp(m), b, RefineOptions{
+		Tol: 1e-10, RecordResiduals: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	if res.Outer < 2 {
+		t.Fatalf("rounded inner converged in %d sweeps; the test is not exercising refinement", res.Outer)
+	}
+	if res.InnerIterations <= res.Outer {
+		t.Fatalf("inner iterations %d do not decompose over %d sweeps", res.InnerIterations, res.Outer)
+	}
+	if rn := residualNorm(m, res.X, b); rn > 1e-10 {
+		t.Fatalf("true residual %g > 1e-10", rn)
+	}
+	if len(res.Residuals) != res.Outer {
+		t.Fatalf("recorded %d residuals for %d sweeps", len(res.Residuals), res.Outer)
+	}
+	for i := 1; i < len(res.Residuals); i++ {
+		if res.Residuals[i] >= res.Residuals[i-1] {
+			t.Fatalf("residual history not strictly decreasing: %v", res.Residuals)
+		}
+	}
+}
+
+// The outer monitor fires exactly once per accepted sweep, in order,
+// with the recorded true residuals.
+func TestRefineMonitorPerSweep(t *testing.T) {
+	m := poisson1D(150)
+	b := roughRHS(150, 4)
+	var sweeps []int
+	var rns []float64
+	res, err := Refine(CSROperator{M: m}, roundedOp(m), b, RefineOptions{
+		Tol:             1e-10,
+		RecordResiduals: true,
+		Monitor: func(outer int, rn float64) {
+			sweeps = append(sweeps, outer)
+			rns = append(rns, rn)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweeps) != res.Outer {
+		t.Fatalf("monitor fired %d times for %d sweeps", len(sweeps), res.Outer)
+	}
+	for i, s := range sweeps {
+		if s != i+1 {
+			t.Fatalf("sweep numbers out of order: %v", sweeps)
+		}
+		if rns[i] != res.Residuals[i] {
+			t.Fatalf("monitor residual %g != recorded %g at sweep %d", rns[i], res.Residuals[i], s)
+		}
+	}
+}
+
+// A hopeless inner operator (identity on a diag(10) system: every
+// correction increases the residual) must stagnate, roll the iterate
+// back, and keep the best X rather than looping or diverging.
+func TestRefineStagnationRollsBack(t *testing.T) {
+	n := 50
+	coo := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 10)
+	}
+	m := coo.ToCSR()
+	b := sparse.Ones(n)
+	identity := funcOp{rows: n, cols: n, apply: func(y, x []float64) { copy(y, x) }}
+	res, err := Refine(CSROperator{M: m}, identity, b, RefineOptions{Tol: 1e-10, MaxOuter: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged || !res.Stagnated {
+		t.Fatalf("want stagnation, got %+v", res)
+	}
+	// The non-improving correction was rolled back: X is the initial
+	// iterate and the residual is still the initial 1.0.
+	for i, v := range res.X {
+		if v != 0 {
+			t.Fatalf("X[%d] = %g after rollback, want 0", i, v)
+		}
+	}
+	if res.Residual != 1.0 {
+		t.Fatalf("residual %g after rollback, want 1.0", res.Residual)
+	}
+}
+
+func TestRefineArgumentErrors(t *testing.T) {
+	m := poisson1D(20)
+	op := CSROperator{M: m}
+	b := sparse.Ones(20)
+	if _, err := Refine(op, op, sparse.Ones(19), RefineOptions{}); !errors.Is(err, ErrDimension) {
+		t.Errorf("short b: %v", err)
+	}
+	inner9 := funcOp{rows: 9, cols: 9, apply: func(y, x []float64) {}}
+	if _, err := Refine(op, inner9, b, RefineOptions{}); !errors.Is(err, ErrDimension) {
+		t.Errorf("mismatched inner dims: %v", err)
+	}
+	if _, err := Refine(op, op, b, RefineOptions{Method: "gmres"}); err == nil {
+		t.Error("unknown inner method accepted")
+	}
+}
+
+func TestRefineZeroRHS(t *testing.T) {
+	m := poisson1D(30)
+	op := CSROperator{M: m}
+	res, err := Refine(op, op, make([]float64, 30), RefineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Outer != 0 {
+		t.Fatalf("zero RHS: %+v", res)
+	}
+	for _, v := range res.X {
+		if v != 0 {
+			t.Fatalf("zero RHS produced nonzero X: %v", res.X)
+		}
+	}
+}
+
+func TestRefineContextCanceled(t *testing.T) {
+	m := poisson1D(100)
+	op := CSROperator{M: m}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Refine(op, op, sparse.Ones(100), RefineOptions{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled context: %v", err)
+	}
+}
+
+// BiCGSTAB as the inner method must refine a nonsymmetric system.
+func TestRefineBiCGSTABInner(t *testing.T) {
+	m := nonsym(120, 7)
+	b := roughRHS(120, 5)
+	res, err := Refine(CSROperator{M: m}, roundedOp(m), b, RefineOptions{
+		Tol: 1e-10, Method: "bicgstab", MaxOuter: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	if rn := residualNorm(m, res.X, b); rn > 1e-10 || math.IsNaN(rn) {
+		t.Fatalf("true residual %g", rn)
+	}
+}
