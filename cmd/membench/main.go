@@ -3,7 +3,8 @@
 // paths and writes machine-readable suites, and it compares two suites
 // with a benchstat-style significance test and a regression gate.
 //
-//	membench [-preset short|full] [-run regex] [-json out.json] [-benchmem] [-list] [-q]
+//	membench [-preset short|full] [-run regex] [-kernel name] [-json out.json]
+//	         [-cpuprofile out.pprof] [-benchmem] [-list] [-q]
 //	membench compare [-max-regress frac] [-max-alloc-regress frac] [-alpha a] old.json new.json
 //
 // `membench compare` exits 1 when any benchmark slowed beyond
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"runtime/pprof"
 
 	"memsci/internal/bench"
 )
@@ -35,6 +37,8 @@ func runSuite(args []string) int {
 	runPat := fs.String("run", "", "only run benchmarks matching this regexp")
 	jsonOut := fs.String("json", "", "write the suite as JSON to this path")
 	benchmem := fs.Bool("benchmem", true, "record allocs/op and bytes/op columns")
+	kernel := fs.String("kernel", "", "force a cluster MVM kernel (generic, swar, blocked); empty = automatic")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the suite run to this path")
 	list := fs.Bool("list", false, "list benchmark names and exit")
 	quiet := fs.Bool("q", false, "suppress per-benchmark progress output")
 	fs.Parse(args)
@@ -61,9 +65,23 @@ func runSuite(args []string) int {
 			return 2
 		}
 	}
+	p.Kernel = *kernel
 	logf := func(format string, a ...any) { fmt.Printf(format, a...) }
 	if *quiet {
 		logf = nil
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
 	}
 	suite, err := bench.RunSuiteOptions(p, filter, *benchmem, logf)
 	if err != nil {

@@ -36,6 +36,14 @@ type Engine struct {
 	// (<= 0 also selects the default).
 	Parallelism int
 
+	// PinWorkers pins ApplyBatch's worker goroutines to OS threads
+	// (parallel.ForPinned): each worker owns one serial engine fork whose
+	// cluster arenas are its working set, and pinning keeps that working
+	// set from migrating between cores mid-batch. Results are unaffected
+	// — ApplyBatch is bit-identical with pinning on or off — so this is a
+	// pure scheduling knob; forks inherit it.
+	PinWorkers bool
+
 	// outs and applyErrs are the per-cluster fan-out scratch for
 	// applyParallel, hoisted out of the per-call path (Apply runs once
 	// per solver iteration; the solver loop should not allocate here).
@@ -222,7 +230,7 @@ func (e *Engine) applyParallel(y, x []float64) {
 // itself), which is how the serving layer's engine cache runs parallel
 // requests against one programmed matrix.
 func (e *Engine) Fork() *Engine {
-	n := &Engine{plan: e.plan, cfg: e.cfg, seedBase: e.seedBase, Parallelism: e.Parallelism}
+	n := &Engine{plan: e.plan, cfg: e.cfg, seedBase: e.seedBase, Parallelism: e.Parallelism, PinWorkers: e.PinWorkers}
 	// The fork inherits the refresh policy (policies are immutable after
 	// SetRefreshPolicy) and the scenario clock, so serving-layer forks
 	// self-heal their private clusters the same way the origin would.
@@ -264,6 +272,23 @@ func (e *Engine) Stats() core.ComputeStats {
 
 // Clusters returns the number of programmed clusters.
 func (e *Engine) Clusters() int { return len(e.clusters) }
+
+// KernelNames reports the distinct MVM kernel variants selected across
+// the engine's clusters (core.Cluster.KernelName), in first-seen
+// cluster order — the diagnostic membench prints so a benchmark run
+// records which specialization it actually measured.
+func (e *Engine) KernelNames() []string {
+	var names []string
+	seen := make(map[string]bool, 2)
+	for _, eb := range e.clusters {
+		k := eb.cluster.KernelName()
+		if !seen[k] {
+			seen[k] = true
+			names = append(names, k)
+		}
+	}
+	return names
+}
 
 // HWCounters snapshots the cumulative hardware counters without
 // resetting them — the sampler the telemetry recorder differences once

@@ -70,6 +70,12 @@ func NewBlockQuant(m, n int, coefs []Coef, maxPad int, q Quant) (*Block, error) 
 	for i := range b.F {
 		b.F[i] = zero
 	}
+	// One big.Int slab backs every encoded coefficient and both row
+	// bounds: engines program thousands of blocks, and a header
+	// allocation per nonzero (plus two per row) dominated the
+	// engine-programming profile.
+	slab := make([]big.Int, len(coefs)+2*m)
+	next := 0
 	seen := make([]bool, m*n)
 	for _, c := range coefs {
 		idx := c.Row*n + c.Col
@@ -80,14 +86,18 @@ func NewBlockQuant(m, n int, coefs []Coef, maxPad int, q Quant) (*Block, error) 
 		if c.Val == 0 {
 			continue
 		}
-		b.F[idx] = code.Encode(c.Val)
+		f := &slab[next]
+		next++
+		code.encodeInto(f, c.Val)
+		b.F[idx] = f
 		b.Vals[idx] = c.Val
 		b.nnz++
 	}
 	b.RowPos = make([]*big.Int, m)
 	b.RowNeg = make([]*big.Int, m)
 	for i := 0; i < m; i++ {
-		pos, neg := new(big.Int), new(big.Int)
+		pos, neg := &slab[next], &slab[next+1]
+		next += 2
 		for j := 0; j < n; j++ {
 			f := b.F[i*n+j]
 			switch f.Sign() {

@@ -54,6 +54,13 @@ type ClusterConfig struct {
 	// applications per MulVec, hence fewer ADC conversions. The zero
 	// value is the exact scheme.
 	VectorQuant Quant
+	// Kernel forces the MVM kernel variant: KernelAuto (the empty
+	// string, selecting per cluster at NewCluster time), KernelGeneric,
+	// KernelSWAR or KernelBlocked (see kernel.go). All variants are
+	// bit-identical in outputs and statistics; the knob exists for
+	// benchmarks and the kernel equivalence tests. KernelBlocked
+	// requires InjectErrors=false.
+	Kernel string
 }
 
 // DefaultClusterConfig returns the paper's evaluation configuration:
@@ -220,6 +227,15 @@ type Cluster struct {
 	// summation growth); it sizes both redWords and the arena.
 	sumBits int
 
+	// kern is the MVM kernel variant selected at NewCluster (kernel.go);
+	// decWords its decode-width specialization (1 = single 64-bit word,
+	// 2 = 128-bit pair, 0 = generic multi-word); packed the interleaved
+	// SWAR mirror of the planes (nil for the generic kernel), immutable
+	// after NewCluster and shared by forks like the planes.
+	kern     kernelKind
+	decWords int
+	packed   *packedPlanes
+
 	// arena is the private per-cluster scratch for the fixed-width MVM
 	// path: running sums, vector slices, temporaries. Allocated once at
 	// NewCluster, reused by every MulVec, never shared — Fork builds a
@@ -271,15 +287,20 @@ func NewCluster(block *Block, cfg ClusterConfig) (*Cluster, error) {
 	for t := range c.planes {
 		c.planes[t] = xbar.NewPlane(block.M, block.N, c.planeBits)
 	}
-	v := new(big.Int)
+	// Two scratch operands hoisted out of the M·N cell loop: v holds
+	// F+bias, u the AN-coded product. Multiplying into a distinct
+	// receiver lets big.Int reuse u's storage instead of allocating a
+	// product (and a big.NewInt(A)) per cell — this loop dominated
+	// engine-programming allocations.
+	v, u := new(big.Int), new(big.Int)
 	for i := 0; i < block.M; i++ {
 		for j := 0; j < block.N; j++ {
 			v.Add(block.F[i*block.N+j], c.bias)
-			v.Mul(v, big.NewInt(ancode.A))
+			u.Mul(v, bigAN)
 			for t := 0; t < c.nPlanes; t++ {
 				var level uint8
 				for b := 0; b < c.planeBits; b++ {
-					if v.Bit(t*c.planeBits+b) == 1 {
+					if u.Bit(t*c.planeBits+b) == 1 {
 						level |= 1 << b
 					}
 				}
@@ -310,6 +331,9 @@ func NewCluster(block *Block, cfg ClusterConfig) (*Cluster, error) {
 	// Reduction accumulator: coded bits plus the summation growth.
 	c.redWords = make([]big.Word, (c.sumBits+64+63)/64)
 	c.initArena()
+	if err := c.selectKernel(); err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 
@@ -385,6 +409,9 @@ func (c *Cluster) Fork() *Cluster {
 		sumBits:   c.sumBits,
 		redWords:  make([]big.Word, len(c.redWords)),
 		age:       c.age,
+		kern:      c.kern,
+		decWords:  c.decWords,
+		packed:    c.packed,
 	}
 	n.initArena()
 	if c.cfg.InjectErrors {
@@ -471,7 +498,14 @@ func (c *Cluster) MulVec(x []float64) ([]float64, error) {
 	if c.cfg.ReferenceMVM {
 		y, err = c.mulVecRef(x)
 	} else {
-		y, err = c.mulVecFix(x)
+		switch c.kern {
+		case kernSWAR:
+			y, err = c.mulVecSWAR(x)
+		case kernBlocked:
+			y, err = c.mulVecBlocked(x)
+		default:
+			y, err = c.mulVecFix(x)
+		}
 	}
 	if c.arr != nil {
 		// Fold the ADC saturation events of this call into the hardware

@@ -33,6 +33,17 @@ type mvArena struct {
 	// and popBig build the corrector's range bound.
 	pBig, maxBig, minBig, popBig big.Int
 	corrScr                      ancode.Scratch
+	// Packed-kernel scratch (kernel.go): fused per-lane AND-popcounts,
+	// per-plane active-cell and decoded counts, per-row settle points,
+	// and the per-slice hoists of the row-major kernel (word spans,
+	// headstart table indices, nonzero-popcount prefix).
+	cnts     []int
+	orCnts   []int
+	pcnts    []int
+	settleAt []int
+	popPfx   []int
+	capIdx   []int
+	xws      [][]uint64
 }
 
 // initArena sizes the scratch from the cluster's static bounds: running
@@ -58,6 +69,16 @@ func (c *Cluster) initArena() {
 	a.biased = newFixWords(fixWords)
 	a.lo = newFixWords(fixWords)
 	a.hi = newFixWords(fixWords)
+	a.cnts = make([]int, c.nPlanes*c.planeBits)
+	a.orCnts = make([]int, c.nPlanes)
+	a.pcnts = make([]int, c.nPlanes)
+	a.settleAt = make([]int, m)
+	// Per-slice hoists sized for the widest sliceable vector (the slicer
+	// never exceeds maxVecWidth slices), so steady-state MulVec stays
+	// allocation-free on every kernel.
+	a.popPfx = make([]int, maxVecWidth+1)
+	a.capIdx = make([]int, maxVecWidth)
+	a.xws = make([][]uint64, maxVecWidth)
 }
 
 // mulVecFix is the allocation-free MulVec: the same §III-B pipeline as
@@ -137,37 +158,7 @@ func (c *Cluster) mulVecFix(x []float64) ([]float64, error) {
 				c.stats.ConversionBits += uint64(res.BitsConverted)
 				addShifted(c.redWords, uint(t*c.planeBits), uint64(res.Count))
 			}
-			// AN decode: P = A·Σ U·x must be divisible by A. Copy the
-			// accumulator (redWords stays intact for the rare correction
-			// path) and divide in place; the quotient is the floor decode
-			// either way.
-			ar.q.SetWords(c.redWords)
-			rem := ar.q.DivModSmall(ancode.A)
-			if !c.cfg.DisableAN {
-				if rem == 0 {
-					c.stats.AN.Add(ancode.OK)
-				} else {
-					// Nonzero syndrome: run the table decoder over a big.Int
-					// view of the raw accumulator (SetBits aliases, no copy)
-					// with arena scratch.
-					p := ar.pBig.SetBits(c.redWords)
-					ar.popBig.SetInt64(int64(popX))
-					ar.maxBig.Mul(c.uMax, &ar.popBig)
-					q, out := c.corr.CorrectInto(p, &ar.minBig, &ar.maxBig, &ar.corrScr)
-					c.stats.AN.Add(out)
-					ar.q.SetBig(q)
-				}
-			}
-			// De-bias: D = Q − B·pop(x_j) = Σ F·x_j, then accumulate with
-			// the slice weight ±2^j.
-			ar.contrib.SetFix(&ar.q)
-			ar.contrib.Sub(&ar.biased)
-			ar.contrib.Lsh(uint(j))
-			if negWeight {
-				run[i].Sub(&ar.contrib)
-			} else {
-				run[i].Add(&ar.contrib)
-			}
+			c.decodeAccumulate(i, j, popX, negWeight)
 		}
 		c.checkSettleFix(&unsettled, y, j, scale, applied)
 	}
@@ -181,10 +172,65 @@ func (c *Cluster) mulVecFix(x []float64) ([]float64, error) {
 	return y, nil
 }
 
-// checkSettleFix is the early-termination test of checkSettleRef on
-// arena storage: the interval endpoints run + (2^j − 1)·Row± are built
-// as (Row << j) − Row + run — the same integers IntervalSettled sums —
+// decodeAccumulate is the generic decode of one (row, slice) reduction
+// accumulated in c.redWords: AN check (and rare table correction),
+// de-bias against the prepared ar.biased term, and signed accumulation
+// into row i's running sum. Shared verbatim by the generic kernel's
+// inner loop and the packed kernels' multi-word and correction paths.
+func (c *Cluster) decodeAccumulate(i, j, popX int, negWeight bool) {
+	ar := &c.arena
+	// AN decode: P = A·Σ U·x must be divisible by A. Copy the
+	// accumulator (redWords stays intact for the rare correction
+	// path) and divide in place; the quotient is the floor decode
+	// either way.
+	ar.q.SetWords(c.redWords)
+	rem := ar.q.DivModSmall(ancode.A)
+	if !c.cfg.DisableAN {
+		if rem == 0 {
+			c.stats.AN.Add(ancode.OK)
+		} else {
+			// Nonzero syndrome: run the table decoder over a big.Int
+			// view of the raw accumulator (SetBits aliases, no copy)
+			// with arena scratch.
+			p := ar.pBig.SetBits(c.redWords)
+			ar.popBig.SetInt64(int64(popX))
+			ar.maxBig.Mul(c.uMax, &ar.popBig)
+			q, out := c.corr.CorrectInto(p, &ar.minBig, &ar.maxBig, &ar.corrScr)
+			c.stats.AN.Add(out)
+			ar.q.SetBig(q)
+		}
+	}
+	// De-bias: D = Q − B·pop(x_j) = Σ F·x_j, then accumulate with
+	// the slice weight ±2^j.
+	ar.contrib.SetFix(&ar.q)
+	ar.contrib.Sub(&ar.biased)
+	ar.contrib.Lsh(uint(j))
+	if negWeight {
+		ar.run[i].Sub(&ar.contrib)
+	} else {
+		ar.run[i].Add(&ar.contrib)
+	}
+}
+
+// rowSettled runs the early-termination interval test for one row after
+// slice j: the endpoints run + (2^j − 1)·Row± are built as
+// (Row << j) − Row + run — the same integers IntervalSettled sums —
 // without a multiply or an allocation.
+func (c *Cluster) rowSettled(i, j, scale int) (float64, bool) {
+	ar := &c.arena
+	ar.lo.SetBig(c.block.RowNeg[i])
+	ar.lo.Lsh(uint(j))
+	ar.lo.SubBig(c.block.RowNeg[i])
+	ar.lo.Add(&ar.run[i])
+	ar.hi.SetBig(c.block.RowPos[i])
+	ar.hi.Lsh(uint(j))
+	ar.hi.SubBig(c.block.RowPos[i])
+	ar.hi.Add(&ar.run[i])
+	return ar.lo.RoundMonotone(&ar.hi, scale, c.cfg.Rounding)
+}
+
+// checkSettleFix applies the early-termination test of checkSettleRef to
+// every unsettled row (the slice-major kernels' per-slice sweep).
 func (c *Cluster) checkSettleFix(unsettled *int, y []float64, j, scale, applied int) {
 	if c.cfg.DisableEarlyTermination || j == 0 {
 		return
@@ -194,15 +240,7 @@ func (c *Cluster) checkSettleFix(unsettled *int, y []float64, j, scale, applied 
 		if ar.settled[i] {
 			continue
 		}
-		ar.lo.SetBig(c.block.RowNeg[i])
-		ar.lo.Lsh(uint(j))
-		ar.lo.SubBig(c.block.RowNeg[i])
-		ar.lo.Add(&ar.run[i])
-		ar.hi.SetBig(c.block.RowPos[i])
-		ar.hi.Lsh(uint(j))
-		ar.hi.SubBig(c.block.RowPos[i])
-		ar.hi.Add(&ar.run[i])
-		if v, ok := ar.lo.RoundMonotone(&ar.hi, scale, c.cfg.Rounding); ok {
+		if v, ok := c.rowSettled(i, j, scale); ok {
 			ar.settled[i] = true
 			y[i] = v
 			c.stats.ColumnSlicesUsed[i] = applied

@@ -313,6 +313,33 @@ func (z *Fix) DivModSmall(d uint64) uint64 {
 	return rem
 }
 
+// setShifted128 sets z to ±(hi·2^64 + lo)·2^shift, writing the three
+// destination words directly instead of going through SetUint+Lsh — the
+// bridge from the specialized 1-/2-word decode paths into the
+// arbitrary-width running sums. Requires 64-bit big.Words; the kernel
+// selector only enables the narrow decode paths on such platforms.
+func (z *Fix) setShifted128(hi, lo uint64, shift uint, neg bool) {
+	if hi == 0 && lo == 0 {
+		z.SetZero()
+		return
+	}
+	words := int(shift) / 64
+	off := shift % 64
+	w0, w1, w2 := lo, hi, uint64(0)
+	if off != 0 {
+		w2 = hi >> (64 - off)
+		w1 = hi<<off | lo>>(64-off)
+		w0 = lo << off
+	}
+	z.w = z.w[:0]
+	for i := 0; i < words; i++ {
+		z.w = append(z.w, 0)
+	}
+	z.w = append(z.w, big.Word(w0), big.Word(w1), big.Word(w2))
+	z.neg = neg
+	z.trim()
+}
+
 // low64 returns the low 64 bits of the magnitude.
 func (z *Fix) low64() uint64 {
 	var v uint64

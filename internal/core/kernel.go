@@ -1,0 +1,688 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+
+	"memsci/internal/ancode"
+)
+
+// This file implements the specialized MVM kernels: a packed interleaved
+// mirror of the programmed planes (built once at NewCluster and shared
+// by forks, like the planes themselves), a slice-major SWAR kernel that
+// fuses the per-plane column popcounts of one (row, slice) pair into a
+// single pass over packed words, and a row-major cache-blocked kernel
+// that keeps one output row's packed words and running sum resident
+// across all of its vector slices. Both use one- or two-word shift-add,
+// AN-divide and de-bias arithmetic when the cluster's reduction bound
+// allows, falling back to the generic multi-word path otherwise.
+//
+// Every kernel is bit-identical to the generic loop in cluster_fix.go
+// (and hence to the big.Int reference of cluster_ref.go) in outputs and
+// statistics; the golden equivalence suite and the kernel property tests
+// enforce this across rounding modes, AN, early termination, CIC,
+// multi-bit cells and error injection.
+
+// kernelKind is the dispatch tag selected once at NewCluster, replacing
+// per-call (and per-row) feature branching in the hot path.
+type kernelKind uint8
+
+const (
+	kernGeneric kernelKind = iota
+	kernSWAR
+	kernBlocked
+)
+
+// ClusterConfig.Kernel force-knob values.
+const (
+	// KernelAuto (the empty string) selects blocked without error
+	// injection and swar with it.
+	KernelAuto = ""
+	// KernelGeneric forces the scalar per-plane loop of cluster_fix.go.
+	KernelGeneric = "generic"
+	// KernelSWAR forces the packed slice-major kernel.
+	KernelSWAR = "swar"
+	// KernelBlocked forces the packed row-major kernel (requires
+	// InjectErrors=false).
+	KernelBlocked = "blocked"
+)
+
+// selectKernel resolves ClusterConfig.Kernel into a concrete kernel and
+// decode-width specialization for this cluster's static shape. Called at
+// the end of NewCluster; forks inherit the selection.
+func (c *Cluster) selectKernel() error {
+	// Decode-width specialization: the per-(row, slice) reduction is
+	// Σ_t count_t·2^(t·planeBits) with count_t ≤ N·(2^B − 1) — the
+	// device model clamps noisy readouts to the same physical rail — so
+	// the exact bound is N·(2^B − 1)·(2^(nPlanes·B) − 1)/(2^B − 1).
+	// With multi-bit cells this can exceed 2^sumBits, so the gate uses
+	// the geometric bound, not sumBits. The narrow paths build words
+	// with 64-bit two-word arithmetic and therefore also require 64-bit
+	// big.Words.
+	c.decWords = 0
+	if wordBits == 64 {
+		lmax := int64(1)<<c.planeBits - 1
+		maxRed := new(big.Int).Lsh(big.NewInt(1), uint(c.nPlanes*c.planeBits))
+		maxRed.Sub(maxRed, big.NewInt(1))
+		maxRed.Div(maxRed, big.NewInt(lmax)) // exact: B divides nPlanes·B
+		maxRed.Mul(maxRed, big.NewInt(int64(c.block.N)*lmax))
+		switch {
+		case maxRed.BitLen() <= 64:
+			c.decWords = 1
+		case maxRed.BitLen() <= 128:
+			c.decWords = 2
+		}
+	}
+	switch c.cfg.Kernel {
+	case KernelGeneric:
+		c.kern = kernGeneric
+	case KernelSWAR:
+		c.kern = kernSWAR
+	case KernelBlocked:
+		if c.cfg.InjectErrors {
+			return fmt.Errorf("core: kernel %q requires InjectErrors=false: its row-major traversal reorders the per-plane stochastic draws", c.cfg.Kernel)
+		}
+		c.kern = kernBlocked
+	case KernelAuto:
+		// The row-major kernel wins on cache locality but permutes the
+		// stochastic draw order across rows; under injection the
+		// slice-major kernel consumes the draw stream in exactly the
+		// reference order.
+		if c.cfg.InjectErrors {
+			c.kern = kernSWAR
+		} else {
+			c.kern = kernBlocked
+		}
+	default:
+		return fmt.Errorf("core: unknown kernel %q (want %q, %q, %q or auto)",
+			c.cfg.Kernel, KernelGeneric, KernelSWAR, KernelBlocked)
+	}
+	if c.kern != kernGeneric && !c.cfg.ReferenceMVM {
+		c.buildPacked()
+	}
+	return nil
+}
+
+// KernelName reports the MVM kernel variant selected for this cluster
+// with its decode width (e.g. "blocked/128", "swar/64", "generic",
+// "reference") — diagnostics for benchmarks and equivalence tests.
+func (c *Cluster) KernelName() string {
+	if c.cfg.ReferenceMVM {
+		return "reference"
+	}
+	var base string
+	switch c.kern {
+	case kernSWAR:
+		base = KernelSWAR
+	case kernBlocked:
+		base = KernelBlocked
+	default:
+		return KernelGeneric
+	}
+	switch c.decWords {
+	case 1:
+		return base + "/64"
+	case 2:
+		return base + "/128"
+	}
+	return base + "/multi"
+}
+
+// packedPlanes is the SWAR mirror of a cluster's planes: for output row
+// i and input word w, the level-bit words of every plane sit
+// consecutively ("lanes"), so the inner kernel loop streams contiguous
+// memory, ANDing one input word against all planes at once — replacing
+// nPlanes·bitsPerCell separate bitmap walks per (row, slice) pair.
+// Layout:
+//
+//	words[(i·nW + w)·lanes + t·planeBits + b] = bit b of plane t,
+//	                                            output row i, input word w
+//
+// The mirror is immutable after NewCluster: CIC inversion and static
+// faults are applied before it is built, and refresh re-programs whole
+// clusters through NewCluster. Forks share it the way they share planes.
+type packedPlanes struct {
+	nW    int // words per input bitmap, (N+63)/64
+	lanes int // nPlanes·planeBits level-bit lanes
+	words []uint64
+
+	// orWords, built only under error injection with multi-bit cells,
+	// holds the OR of each plane's level bits per (row, word, plane) —
+	// the active-cell mask behind the error model's onCells operand:
+	// orWords[(i·nW + w)·nPlanes + t].
+	orWords []uint64
+
+	// inverted caches the per-(row, plane) CIC flags: inverted[i·nPlanes+t].
+	inverted []bool
+
+	// bitsTab, present when ADC headstart is on, tabulates the SAR bit
+	// decisions of one (row, slice) pair as a function of the applied
+	// popcount bound's bit length: bitsTab[i·(maxCap+1) + Len(popX·lmax)]
+	// = Σ_t clamp(min(Len(weight_t), Len(popX·lmax)), 1, Resolution).
+	// This is exact because Len is monotone, so Len(min(w, cap)) =
+	// min(Len(w), Len(cap)).
+	bitsTab []uint32
+	maxCap  int
+}
+
+// buildPacked constructs the packed mirror from the (final, post-CIC,
+// post-fault) planes.
+func (c *Cluster) buildPacked() {
+	b := c.block
+	B, nP := c.planeBits, c.nPlanes
+	pk := &packedPlanes{
+		nW:    (b.N + 63) / 64,
+		lanes: nP * B,
+	}
+	pk.words = make([]uint64, b.M*pk.nW*pk.lanes)
+	pk.inverted = make([]bool, b.M*nP)
+	for i := 0; i < b.M; i++ {
+		for t := 0; t < nP; t++ {
+			pk.inverted[i*nP+t] = c.planes[t].Inverted(i)
+			for lb := 0; lb < B; lb++ {
+				cw := c.planes[t].ColumnWords(lb, i)
+				lane := t*B + lb
+				for w := 0; w < pk.nW; w++ {
+					pk.words[(i*pk.nW+w)*pk.lanes+lane] = cw[w]
+				}
+			}
+		}
+	}
+	if c.arr != nil && B > 1 {
+		pk.orWords = make([]uint64, b.M*pk.nW*nP)
+		for i := 0; i < b.M; i++ {
+			for t := 0; t < nP; t++ {
+				for w := 0; w < pk.nW; w++ {
+					var or uint64
+					for lb := 0; lb < B; lb++ {
+						or |= c.planes[t].ColumnWords(lb, i)[w]
+					}
+					pk.orWords[(i*pk.nW+w)*nP+t] = or
+				}
+			}
+		}
+	}
+	if c.adc.Headstart {
+		lmax := 1<<B - 1
+		pk.maxCap = bits.Len(uint(b.N * lmax))
+		pk.bitsTab = make([]uint32, b.M*(pk.maxCap+1))
+		res := c.adc.Resolution
+		for i := 0; i < b.M; i++ {
+			row := pk.bitsTab[i*(pk.maxCap+1) : (i+1)*(pk.maxCap+1)]
+			for t := 0; t < nP; t++ {
+				lw := bits.Len(uint(c.planes[t].StoredOnes(i)))
+				for cl := 0; cl <= pk.maxCap; cl++ {
+					need := lw
+					if cl < need {
+						need = cl
+					}
+					if need > res {
+						need = res
+					}
+					if need < 1 {
+						need = 1
+					}
+					row[cl] += uint32(need)
+				}
+			}
+		}
+	}
+	c.packed = pk
+}
+
+// rowConvBits returns the total SAR bit decisions for one (row, slice)
+// pair; capIdx is Len(popX·lmax), ignored when headstart is off.
+func (c *Cluster) rowConvBits(i, capIdx int) uint64 {
+	pk := c.packed
+	if pk.bitsTab == nil {
+		return uint64(c.nPlanes * c.adc.Resolution)
+	}
+	return uint64(pk.bitsTab[i*(pk.maxCap+1)+capIdx])
+}
+
+// countLanes accumulates into the arena's lane-count buffer the
+// AND-popcounts of every level-bit lane of output row i against the
+// applied slice words xw — one pass over the interleaved mirror instead
+// of nPlanes·bitsPerCell separate bitmap walks. Padding bits are clear
+// on both operands (planes and slices maintain that invariant), so no
+// tail masking is needed.
+func (c *Cluster) countLanes(i int, xw []uint64) {
+	pk := c.packed
+	cnts := c.arena.cnts
+	base := i * pk.nW * pk.lanes
+	wrote := false
+	for w, xv := range xw {
+		if xv == 0 {
+			continue
+		}
+		seg := pk.words[base+w*pk.lanes : base+(w+1)*pk.lanes]
+		if !wrote {
+			wrote = true
+			for l, pw := range seg {
+				cnts[l] = bits.OnesCount64(xv & pw)
+			}
+		} else {
+			for l, pw := range seg {
+				cnts[l] += bits.OnesCount64(xv & pw)
+			}
+		}
+	}
+	if !wrote {
+		for l := range cnts {
+			cnts[l] = 0
+		}
+	}
+}
+
+// countOrLanes fills the arena's per-plane active-cell counts for output
+// row i (multi-bit cells under error injection only).
+func (c *Cluster) countOrLanes(i int, xw []uint64) {
+	pk := c.packed
+	nP := c.nPlanes
+	orCnts := c.arena.orCnts
+	base := i * pk.nW * nP
+	wrote := false
+	for w, xv := range xw {
+		if xv == 0 {
+			continue
+		}
+		seg := pk.orWords[base+w*nP : base+(w+1)*nP]
+		if !wrote {
+			wrote = true
+			for t, ow := range seg {
+				orCnts[t] = bits.OnesCount64(xv & ow)
+			}
+		} else {
+			for t, ow := range seg {
+				orCnts[t] += bits.OnesCount64(xv & ow)
+			}
+		}
+	}
+	if !wrote {
+		for t := range orCnts {
+			orCnts[t] = 0
+		}
+	}
+}
+
+// planeCounts converts the lane counts of row i into final per-plane
+// CIC-decoded counts, optionally routing each plane's stored count
+// through the device-error model in ascending plane order — the exact
+// draw order of the reference per-plane Column walk.
+func (c *Cluster) planeCounts(i, popX int, xw []uint64) {
+	ar := &c.arena
+	pk := c.packed
+	B, nP := c.planeBits, c.nPlanes
+	inv := pk.inverted[i*nP : (i+1)*nP]
+	cnts, pcnts := ar.cnts, ar.pcnts
+	if c.arr != nil && B > 1 {
+		c.countOrLanes(i, xw)
+	}
+	for t := 0; t < nP; t++ {
+		cv := cnts[t*B]
+		for lb := 1; lb < B; lb++ {
+			cv += cnts[t*B+lb] << lb
+		}
+		if c.arr != nil {
+			on := cv
+			if B > 1 {
+				on = ar.orCnts[t]
+			}
+			cv = c.arr.PerturbCountVar(cv, on, popX-on, c.planes[t].ColumnGain(i))
+		}
+		if inv[t] {
+			// CIC decoding: true = popX − stored-form count; a noisy
+			// observation cannot exceed the CIC bound.
+			cv = popX - cv
+			if cv < 0 {
+				cv = 0
+			}
+		}
+		pcnts[t] = cv
+	}
+}
+
+// reduce64 folds the per-plane counts into the single-word reduction
+// Σ_t count_t·2^(t·planeBits); the decWords=1 gate guarantees no
+// overflow.
+func (c *Cluster) reduce64() uint64 {
+	var lo uint64
+	B := c.planeBits
+	for t, cv := range c.arena.pcnts {
+		lo += uint64(cv) << uint(t*B)
+	}
+	return lo
+}
+
+// reduce128 is reduce64 in a 128-bit (hi, lo) pair for clusters whose
+// reduction bound needs up to two words.
+func (c *Cluster) reduce128() (hi, lo uint64) {
+	B := c.planeBits
+	for t, cv := range c.arena.pcnts {
+		if cv == 0 {
+			continue
+		}
+		s := uint(t * B)
+		if s < 64 {
+			var carry uint64
+			lo, carry = bits.Add64(lo, uint64(cv)<<s, 0)
+			var hiAdd uint64
+			if s > 0 {
+				hiAdd = uint64(cv) >> (64 - s)
+			}
+			hi += hiAdd + carry
+		} else {
+			hi += uint64(cv) << (s - 64)
+		}
+	}
+	return hi, lo
+}
+
+// reduceWords is the multi-word fallback: per-plane counts shift-added
+// into the cluster's raw reduction accumulator, as the generic kernel
+// does plane by plane.
+func (c *Cluster) reduceWords() {
+	for w := range c.redWords {
+		c.redWords[w] = 0
+	}
+	B := c.planeBits
+	for t, cv := range c.arena.pcnts {
+		addShifted(c.redWords, uint(t*B), uint64(cv))
+	}
+}
+
+// apply64 decodes one single-word reduction and accumulates its signed
+// de-biased contribution into row i's running sum: the specialized form
+// of the generic AN-divide / de-bias / shift-add sequence.
+func (c *Cluster) apply64(i, j, popX int, negWeight bool, red uint64) {
+	ar := &c.arena
+	q, rem := red/ancode.A, red%ancode.A
+	if rem != 0 && !c.cfg.DisableAN {
+		c.applySlow(i, j, popX, negWeight, 0, red)
+		return
+	}
+	if !c.cfg.DisableAN {
+		c.stats.AN.Add(ancode.OK)
+	}
+	// De-bias: contrib = Q − popX·2^Width. Width < 64 here: the biased
+	// term is below the ≤ 64-bit reduction bound.
+	biased := uint64(popX) << uint(c.block.Code.Width)
+	var mag uint64
+	neg := false
+	if q >= biased {
+		mag = q - biased
+	} else {
+		neg = true
+		mag = biased - q
+	}
+	if negWeight {
+		neg = !neg
+	}
+	ar.contrib.setShifted128(0, mag, uint(j), neg)
+	ar.run[i].Add(&ar.contrib)
+}
+
+// apply128 is apply64 on a two-word reduction: the AN divide becomes an
+// exact long division by A in two Div64 steps, and the de-bias a 128-bit
+// subtraction with sign tracking.
+func (c *Cluster) apply128(i, j, popX int, negWeight bool, hi, lo uint64) {
+	ar := &c.arena
+	qh, r := bits.Div64(0, hi, ancode.A)
+	ql, rem := bits.Div64(r, lo, ancode.A)
+	if rem != 0 && !c.cfg.DisableAN {
+		c.applySlow(i, j, popX, negWeight, hi, lo)
+		return
+	}
+	if !c.cfg.DisableAN {
+		c.stats.AN.Add(ancode.OK)
+	}
+	var bh, bl uint64
+	wd := uint(c.block.Code.Width)
+	if wd < 64 {
+		bl = uint64(popX) << wd
+		bh = uint64(popX) >> (64 - wd)
+	} else {
+		bh = uint64(popX) << (wd - 64)
+	}
+	var ch, cl, brw uint64
+	neg := false
+	if qh > bh || (qh == bh && ql >= bl) {
+		cl, brw = bits.Sub64(ql, bl, 0)
+		ch, _ = bits.Sub64(qh, bh, brw)
+	} else {
+		neg = true
+		cl, brw = bits.Sub64(bl, ql, 0)
+		ch, _ = bits.Sub64(bh, qh, brw)
+	}
+	if negWeight {
+		neg = !neg
+	}
+	ar.contrib.setShifted128(ch, cl, uint(j), neg)
+	ar.run[i].Add(&ar.contrib)
+}
+
+// applySlow routes a nonzero AN syndrome (reachable only under error
+// injection) through the generic correction decode: the raw reduction is
+// re-materialized into redWords and handed to decodeAccumulate, which
+// runs the table corrector exactly as the generic kernel would.
+func (c *Cluster) applySlow(i, j, popX int, negWeight bool, hi, lo uint64) {
+	ar := &c.arena
+	for w := range c.redWords {
+		c.redWords[w] = 0
+	}
+	c.redWords[0] = big.Word(lo)
+	c.redWords[1] = big.Word(hi)
+	ar.biased.SetUint(uint64(popX))
+	ar.biased.Lsh(uint(c.block.Code.Width))
+	c.decodeAccumulate(i, j, popX, negWeight)
+}
+
+// mulVecSWAR is the slice-major packed kernel: the exact traversal order
+// of mulVecFix — vector slices outer (most significant first), output
+// rows inner, settle checks after every slice — with each row's per-plane
+// column popcounts fused into one pass over the interleaved packed words
+// and the decode specialized to the cluster's reduction width. Under
+// error injection it consumes the stochastic draw stream in the
+// reference order, so it is valid (and selected) for InjectErrors runs.
+func (c *Cluster) mulVecSWAR(x []float64) ([]float64, error) {
+	b := c.block
+	if len(x) != b.N {
+		return nil, fmt.Errorf("core: vector length %d != block cols %d", len(x), b.N)
+	}
+	ar := &c.arena
+	if err := SliceVectorQuantInto(&ar.vs, x, c.cfg.VectorMaxPad, c.cfg.VectorQuant); err != nil {
+		return nil, err
+	}
+	vs := &ar.vs
+	c.stats.Ops++
+	c.resetPerCall()
+
+	y := ar.y
+	for i := range y {
+		y[i] = 0
+	}
+	if vs.Code.Empty || b.Code.Empty {
+		return y, nil
+	}
+	scale := CombinedScale(b.Code, vs.Code)
+	c.stats.VectorSlicesTotal += vs.Width
+	c.stats.MinSettleSlice = vs.Width
+
+	run := ar.run
+	for i := range run {
+		run[i].SetZero()
+	}
+	settled := ar.settled
+	for i := range settled {
+		settled[i] = false
+	}
+	unsettled := b.M
+
+	lmax := 1<<c.planeBits - 1
+	applied := 0
+	for j := vs.Width - 1; j >= 0 && unsettled > 0; j-- {
+		popX := vs.Pop[j]
+		applied++
+		c.stats.VectorSlicesApplied++
+		c.stats.CrossbarActivations += uint64(c.nPlanes)
+		c.stats.MinSettleSlice = j
+
+		if popX == 0 {
+			c.checkSettleFix(&unsettled, y, j, scale, applied)
+			continue
+		}
+		xw := vs.Slices[j].Words()
+		negWeight := vs.Weight(j)
+		capIdx := 0
+		if c.adc.Headstart {
+			capIdx = bits.Len(uint(popX * lmax))
+		}
+		if c.decWords == 0 {
+			ar.biased.SetUint(uint64(popX))
+			ar.biased.Lsh(uint(b.Code.Width))
+		}
+		for i := 0; i < b.M; i++ {
+			if settled[i] {
+				c.stats.ConversionsSkipped += uint64(c.nPlanes)
+				continue
+			}
+			c.countLanes(i, xw)
+			c.planeCounts(i, popX, xw)
+			c.stats.Conversions += uint64(c.nPlanes)
+			c.stats.ConversionBits += c.rowConvBits(i, capIdx)
+			switch c.decWords {
+			case 1:
+				c.apply64(i, j, popX, negWeight, c.reduce64())
+			case 2:
+				hi, lo := c.reduce128()
+				c.apply128(i, j, popX, negWeight, hi, lo)
+			default:
+				c.reduceWords()
+				c.decodeAccumulate(i, j, popX, negWeight)
+			}
+		}
+		c.checkSettleFix(&unsettled, y, j, scale, applied)
+	}
+	for i := 0; i < b.M; i++ {
+		if !settled[i] {
+			y[i] = run[i].Round(scale, c.cfg.Rounding)
+			c.stats.ColumnSlicesUsed[i] = vs.Width
+		}
+	}
+	return y, nil
+}
+
+// mulVecBlocked is the row-major cache-blocked packed kernel: one output
+// row's packed words (nPlanes·bitsPerCell contiguous uint64 lanes per
+// input word) and running sum stay L1-resident while all of its vector
+// slices are applied, instead of streaming the whole M-row mirror once
+// per slice. Per-row early termination breaks out of the slice loop as
+// soon as the row's IEEE mantissa settles; the slice-major schedule's
+// aggregate counters (slices applied, activations, conversions skipped,
+// settle cutoff) are reconstructed exactly from the per-row settle points
+// by VerticalSettleStats. The traversal reorders only commutative
+// integer additions and stats increments, so outputs and statistics are
+// bit-identical to the generic kernel; stochastic error draws would NOT
+// commute, which is why selectKernel rejects InjectErrors here.
+func (c *Cluster) mulVecBlocked(x []float64) ([]float64, error) {
+	b := c.block
+	if len(x) != b.N {
+		return nil, fmt.Errorf("core: vector length %d != block cols %d", len(x), b.N)
+	}
+	ar := &c.arena
+	if err := SliceVectorQuantInto(&ar.vs, x, c.cfg.VectorMaxPad, c.cfg.VectorQuant); err != nil {
+		return nil, err
+	}
+	vs := &ar.vs
+	c.stats.Ops++
+	c.resetPerCall()
+
+	y := ar.y
+	for i := range y {
+		y[i] = 0
+	}
+	if vs.Code.Empty || b.Code.Empty {
+		return y, nil
+	}
+	scale := CombinedScale(b.Code, vs.Code)
+	W := vs.Width
+	c.stats.VectorSlicesTotal += W
+
+	// Hoist the per-slice state the row-major loop revisits M times:
+	// slice word spans, headstart table indices, and the nonzero-popcount
+	// prefix the stats reconstruction needs. Arena-sized for the maximum
+	// vector width; the guard covers callers with custom pads.
+	if W+1 > len(ar.popPfx) {
+		ar.xws = make([][]uint64, W)
+		ar.capIdx = make([]int, W)
+		ar.popPfx = make([]int, W+1)
+	}
+	xws := ar.xws[:W]
+	capIdx := ar.capIdx[:W]
+	pfx := ar.popPfx[:W+1]
+	pfx[0] = 0
+	lmax := 1<<c.planeBits - 1
+	for j := 0; j < W; j++ {
+		xws[j] = vs.Slices[j].Words()
+		nz := 0
+		if vs.Pop[j] != 0 {
+			nz = 1
+			if c.adc.Headstart {
+				capIdx[j] = bits.Len(uint(vs.Pop[j] * lmax))
+			}
+		}
+		pfx[j+1] = pfx[j] + nz
+	}
+
+	et := !c.cfg.DisableEarlyTermination
+	for i := 0; i < b.M; i++ {
+		run := &ar.run[i]
+		run.SetZero()
+		settleAt := 0
+		done := false
+		for j := W - 1; j >= 0; j-- {
+			popX := vs.Pop[j]
+			if popX != 0 {
+				negWeight := vs.Weight(j)
+				c.countLanes(i, xws[j])
+				c.planeCounts(i, popX, xws[j])
+				c.stats.Conversions += uint64(c.nPlanes)
+				c.stats.ConversionBits += c.rowConvBits(i, capIdx[j])
+				switch c.decWords {
+				case 1:
+					c.apply64(i, j, popX, negWeight, c.reduce64())
+				case 2:
+					hi, lo := c.reduce128()
+					c.apply128(i, j, popX, negWeight, hi, lo)
+				default:
+					c.reduceWords()
+					ar.biased.SetUint(uint64(popX))
+					ar.biased.Lsh(uint(b.Code.Width))
+					c.decodeAccumulate(i, j, popX, negWeight)
+				}
+			}
+			if et && j > 0 {
+				if v, ok := c.rowSettled(i, j, scale); ok {
+					y[i] = v
+					c.stats.ColumnSlicesUsed[i] = W - j
+					settleAt = j
+					done = true
+					break
+				}
+			}
+		}
+		if !done {
+			y[i] = run.Round(scale, c.cfg.Rounding)
+			c.stats.ColumnSlicesUsed[i] = W
+		}
+		ar.settleAt[i] = settleAt
+	}
+
+	cutoff, applied, skipped := VerticalSettleStats(W, ar.settleAt, pfx)
+	c.stats.MinSettleSlice = cutoff
+	c.stats.VectorSlicesApplied += applied
+	c.stats.CrossbarActivations += uint64(applied) * uint64(c.nPlanes)
+	c.stats.ConversionsSkipped += skipped * uint64(c.nPlanes)
+	return y, nil
+}

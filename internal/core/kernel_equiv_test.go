@@ -1,0 +1,329 @@
+package core
+
+import (
+	"math/big"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestKernelEquivalenceProperty is the specialized kernels' golden gate:
+// across random hardware configurations — all rounding modes, AN on/off,
+// early termination on/off, CIC on/off, headstart on/off, 1- and 2-bit
+// cells, matrix/vector quantization, error injection, and exponent
+// spreads that exercise the 64-bit, 128-bit and multi-word decode tiers —
+// every packed kernel must produce bit-identical outputs and
+// DeepEqual-identical statistics to the forced generic kernel, call
+// after call. At least 4000 (kernel, vector) comparisons are required.
+func TestKernelEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(991))
+	modes := []RoundingMode{TowardNegInf, NearestEven, TowardPosInf, TowardZero}
+	spreads := []int{4, 20, 60}
+	quants := []Quant{{}, {Mant: 8}, {Mant: 8, Window: 6}}
+	cases := 0
+	const trials = 350
+	for trial := 0; trial < trials; trial++ {
+		cfg := DefaultClusterConfig()
+		cfg.Rounding = modes[rng.Intn(len(modes))]
+		cfg.DisableAN = rng.Intn(3) == 0
+		cfg.DisableEarlyTermination = rng.Intn(4) == 0
+		cfg.CIC = rng.Intn(4) != 0
+		cfg.Headstart = rng.Intn(4) != 0
+		cfg.InjectErrors = rng.Intn(3) == 0
+		cfg.Seed = int64(1000 + trial)
+		if rng.Intn(3) == 0 {
+			cfg.Device.BitsPerCell = 2
+		}
+		q := quants[rng.Intn(len(quants))]
+		cfg.MatrixQuant = q
+		cfg.VectorQuant = q
+		spread := spreads[rng.Intn(len(spreads))]
+
+		m, n := 1+rng.Intn(10), 1+rng.Intn(14)
+		vals := randBlockVals(rng, m, n, spread, 0.85)
+		var coefs []Coef
+		for i := range vals {
+			for j, v := range vals[i] {
+				if v != 0 {
+					coefs = append(coefs, Coef{Row: i, Col: j, Val: v})
+				}
+			}
+		}
+		blk, err := NewBlockQuant(m, n, coefs, MaxPadBits, q)
+		if err != nil {
+			t.Fatalf("trial %d: NewBlockQuant: %v", trial, err)
+		}
+
+		genCfg := cfg
+		genCfg.Kernel = KernelGeneric
+		gen, err := NewCluster(blk, genCfg)
+		if err != nil {
+			t.Fatalf("trial %d: NewCluster(generic): %v", trial, err)
+		}
+		names := []string{KernelSWAR}
+		if !cfg.InjectErrors {
+			names = append(names, KernelBlocked)
+		}
+		kcs := make([]*Cluster, len(names))
+		for ki, name := range names {
+			kcfg := cfg
+			kcfg.Kernel = name
+			kcs[ki], err = NewCluster(blk, kcfg)
+			if err != nil {
+				t.Fatalf("trial %d: NewCluster(%s): %v", trial, name, err)
+			}
+		}
+
+		for call := 0; call < 8; call++ {
+			var x []float64
+			if call == 3 {
+				x = make([]float64, n) // zero vector
+			} else {
+				x = randVec(rng, n, spread, 0.8)
+			}
+			yg, eg := gen.MulVec(x)
+			var want []float64
+			if eg == nil {
+				want = cloneF64(yg)
+			}
+			for ki, kc := range kcs {
+				yk, ek := kc.MulVec(x)
+				if (eg == nil) != (ek == nil) {
+					t.Fatalf("trial %d call %d kernel %s: error mismatch generic=%v kernel=%v",
+						trial, call, names[ki], eg, ek)
+				}
+				cases++
+				if eg != nil {
+					continue
+				}
+				if !bitsEqual(yk, want) {
+					t.Fatalf("trial %d call %d kernel %s (%s, cfg %+v): outputs differ\nkernel  %v\ngeneric %v",
+						trial, call, names[ki], kc.KernelName(), cfg, yk, want)
+				}
+				ks, gs := *kc.Stats(), *gen.Stats()
+				if !reflect.DeepEqual(ks, gs) {
+					t.Fatalf("trial %d call %d kernel %s (%s, cfg %+v): stats differ\nkernel  %+v\ngeneric %+v",
+						trial, call, names[ki], kc.KernelName(), cfg, ks, gs)
+				}
+			}
+		}
+	}
+	if cases < 4000 {
+		t.Fatalf("property suite covered %d cases, want >= 4000", cases)
+	}
+}
+
+// TestKernelSelection pins the dispatch policy and its validation: auto
+// selects blocked (row-major) without injection and swar (reference draw
+// order) with it; the force-knob accepts exactly the documented names;
+// blocked is rejected under injection; decode width follows the
+// reduction bound.
+func TestKernelSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(992))
+	vals := randBlockVals(rng, 4, 6, 10, 1)
+
+	if got := mustCluster(t, vals, DefaultClusterConfig()).KernelName(); !strings.HasPrefix(got, "blocked/") {
+		t.Errorf("auto kernel without injection = %q, want blocked/*", got)
+	}
+	inj := DefaultClusterConfig()
+	inj.InjectErrors = true
+	if got := mustCluster(t, vals, inj).KernelName(); !strings.HasPrefix(got, "swar/") {
+		t.Errorf("auto kernel with injection = %q, want swar/*", got)
+	}
+	ref := DefaultClusterConfig()
+	ref.ReferenceMVM = true
+	if got := mustCluster(t, vals, ref).KernelName(); got != "reference" {
+		t.Errorf("reference cluster reports kernel %q", got)
+	}
+	forced := DefaultClusterConfig()
+	forced.Kernel = KernelGeneric
+	if got := mustCluster(t, vals, forced).KernelName(); got != "generic" {
+		t.Errorf("forced generic reports kernel %q", got)
+	}
+
+	blk, err := NewBlockDense(vals, MaxPadBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultClusterConfig()
+	bad.Kernel = "vectorized" // not a variant
+	if _, err := NewCluster(blk, bad); err == nil {
+		t.Error("unknown kernel name accepted")
+	}
+	injBlocked := DefaultClusterConfig()
+	injBlocked.InjectErrors = true
+	injBlocked.Kernel = KernelBlocked
+	if _, err := NewCluster(blk, injBlocked); err == nil {
+		t.Error("blocked kernel accepted under error injection (draw order would diverge)")
+	}
+
+	// Decode tiers: a 4-bit-significand block of ones has a reduction
+	// bound far under 64 bits; a 2^64 exponent spread over 8 columns
+	// pushes it past 128.
+	narrow := DefaultClusterConfig()
+	narrow.MatrixQuant = Quant{Mant: 4}
+	narrow.VectorQuant = Quant{Mant: 4}
+	if got := mustClusterQuant(t, [][]float64{{1, 1, 1, 1}}, narrow).KernelName(); got != "blocked/64" {
+		t.Errorf("narrow block kernel = %q, want blocked/64", got)
+	}
+	wideVals := [][]float64{{1, ldexp64, 1, 1, 1, 1, 1, 1}}
+	if got := mustCluster(t, wideVals, DefaultClusterConfig()).KernelName(); got != "blocked/multi" {
+		t.Errorf("wide block kernel = %q, want blocked/multi", got)
+	}
+}
+
+// ldexp64 is 2^64, the widest representable block exponent spread.
+var ldexp64 = func() float64 {
+	v := 1.0
+	for i := 0; i < 64; i++ {
+		v *= 2
+	}
+	return v
+}()
+
+// mustClusterQuant is mustCluster building the block under the config's
+// MatrixQuant (the NewEngine contract).
+func mustClusterQuant(t *testing.T, vals [][]float64, cfg ClusterConfig) *Cluster {
+	t.Helper()
+	var coefs []Coef
+	for i := range vals {
+		for j, v := range vals[i] {
+			if v != 0 {
+				coefs = append(coefs, Coef{Row: i, Col: j, Val: v})
+			}
+		}
+	}
+	blk, err := NewBlockQuant(len(vals), len(vals[0]), coefs, MaxPadBits, cfg.MatrixQuant)
+	if err != nil {
+		t.Fatalf("NewBlockQuant: %v", err)
+	}
+	c, err := NewCluster(blk, cfg)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	return c
+}
+
+// TestKernelSteadyStateZeroAllocs extends the zero-allocation pin to
+// every kernel variant: a warm cluster must run MulVec without a single
+// heap allocation regardless of which kernel was selected.
+func TestKernelSteadyStateZeroAllocs(t *testing.T) {
+	for _, name := range []string{KernelGeneric, KernelSWAR, KernelBlocked} {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(83))
+			cfg := DefaultClusterConfig()
+			cfg.Kernel = name
+			c := mustCluster(t, randBlockVals(rng, 6, 8, 14, 0.9), cfg)
+			xs := make([][]float64, 6)
+			for i := range xs {
+				xs[i] = randVec(rng, 8, 18, 0.8)
+			}
+			for _, x := range xs {
+				if _, err := c.MulVec(x); err != nil {
+					t.Fatalf("warmup MulVec: %v", err)
+				}
+			}
+			k := 0
+			allocs := testing.AllocsPerRun(50, func() {
+				if _, err := c.MulVec(xs[k%len(xs)]); err != nil {
+					t.Fatal(err)
+				}
+				k++
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state %s MulVec allocated %.1f/run, want 0", name, allocs)
+			}
+		})
+	}
+}
+
+// TestSetShifted128 checks the 128-bit contribution bridge against
+// big.Int arithmetic: ±(hi·2^64 + lo)·2^shift for random operands,
+// shifts across word boundaries, and the zero edge.
+func TestSetShifted128(t *testing.T) {
+	if wordBits != 64 {
+		t.Skip("setShifted128 requires 64-bit big.Words")
+	}
+	rng := rand.New(rand.NewSource(993))
+	f := newFixWords(8)
+	want, got, tmp := new(big.Int), new(big.Int), new(big.Int)
+	for trial := 0; trial < 2500; trial++ {
+		hi, lo := rng.Uint64(), rng.Uint64()
+		switch trial % 4 {
+		case 0:
+			hi = 0
+		case 1:
+			hi, lo = 0, uint64(trial%8)
+		}
+		shift := uint(rng.Intn(200))
+		neg := rng.Intn(2) == 1
+		f.setShifted128(hi, lo, shift, neg)
+		want.SetUint64(hi)
+		want.Lsh(want, 64)
+		tmp.SetUint64(lo)
+		want.Add(want, tmp)
+		want.Lsh(want, shift)
+		if neg {
+			want.Neg(want)
+		}
+		f.AppendBig(got)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("setShifted128(%#x, %#x, %d, %v) = %s, want %s", hi, lo, shift, neg, got, want)
+		}
+	}
+}
+
+// TestVerticalSettleStatsMatchesWalk cross-checks the row-major kernel's
+// stats reconstruction against a brute-force replay of the slice-major
+// walk it must account for.
+func TestVerticalSettleStatsMatchesWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(994))
+	for trial := 0; trial < 500; trial++ {
+		W := 1 + rng.Intn(12)
+		M := 1 + rng.Intn(6)
+		pop := make([]int, W)
+		for j := range pop {
+			pop[j] = rng.Intn(3) // 0 = all-zero slice
+		}
+		settle := make([]int, M)
+		for i := range settle {
+			settle[i] = rng.Intn(W) // 0 = ran to the last slice
+		}
+		pfx := make([]int, W+1)
+		for j := 0; j < W; j++ {
+			pfx[j+1] = pfx[j]
+			if pop[j] != 0 {
+				pfx[j+1]++
+			}
+		}
+		// Replay: the walk runs slices W-1 down to the minimum settle
+		// point; a row settled at slice s skips every processed
+		// nonzero slice below s.
+		wantCutoff := W
+		for _, s := range settle {
+			if s < wantCutoff {
+				wantCutoff = s
+			}
+		}
+		wantApplied := 0
+		var wantSkipped uint64
+		for j := W - 1; j >= wantCutoff; j-- {
+			wantApplied++
+			if pop[j] == 0 {
+				continue
+			}
+			for i := 0; i < M; i++ {
+				if settle[i] > j {
+					wantSkipped++
+				}
+			}
+		}
+		cutoff, applied, skipped := VerticalSettleStats(W, settle, pfx)
+		if cutoff != wantCutoff || applied != wantApplied || skipped != wantSkipped {
+			t.Fatalf("trial %d (W=%d settle=%v pop=%v): got (%d,%d,%d), want (%d,%d,%d)",
+				trial, W, settle, pop, cutoff, applied, skipped,
+				wantCutoff, wantApplied, wantSkipped)
+		}
+	}
+}

@@ -40,11 +40,26 @@ func (b *Bitmap) Get(i int) bool {
 	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
 }
 
+// tailMask returns the valid-bit mask of the last storage word: all ones
+// when the length is a multiple of 64, otherwise only the low n mod 64
+// bits. Set/Invert/Reset never leave padding bits set, but Words exposes
+// the raw storage, so the popcount paths mask defensively rather than
+// trust every caller.
+func (b *Bitmap) tailMask() uint64 {
+	if rem := uint(b.n) & 63; rem != 0 {
+		return 1<<rem - 1
+	}
+	return ^uint64(0)
+}
+
 // PopCount returns the number of set bits.
 func (b *Bitmap) PopCount() int {
 	c := 0
 	for _, w := range b.words {
 		c += bits.OnesCount64(w)
+	}
+	if n := len(b.words); n > 0 {
+		c -= bits.OnesCount64(b.words[n-1] &^ b.tailMask())
 	}
 	return c
 }
@@ -57,6 +72,27 @@ func (b *Bitmap) AndPopCount(x *Bitmap) int {
 	c := 0
 	for i, w := range b.words {
 		c += bits.OnesCount64(w & x.words[i])
+	}
+	if n := len(b.words); n > 0 {
+		c -= bits.OnesCount64(b.words[n-1] & x.words[n-1] &^ b.tailMask())
+	}
+	return c
+}
+
+// AndPopCountWords returns popcount(b AND ws), where ws is a raw
+// little-endian word span of the same storage length as b — the fused
+// form the packed cluster kernels use: one pass over word storage with
+// no per-bit Get and no Bitmap wrapper around the second operand.
+func (b *Bitmap) AndPopCountWords(ws []uint64) int {
+	if len(ws) != len(b.words) {
+		panic("xbar: word span length mismatch")
+	}
+	c := 0
+	for i, w := range b.words {
+		c += bits.OnesCount64(w & ws[i])
+	}
+	if n := len(b.words); n > 0 {
+		c -= bits.OnesCount64(b.words[n-1] & ws[n-1] &^ b.tailMask())
 	}
 	return c
 }

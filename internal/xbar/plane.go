@@ -50,11 +50,24 @@ func NewPlane(outputs, inputs, bitsPerCell int) *Plane {
 		weight:      make([]int, outputs),
 		bits:        make([][]*Bitmap, bitsPerCell),
 	}
+	// One word slab and one Bitmap slab back every column of every level
+	// bit: a cluster programs O(planes) planes, and per-column NewBitmap
+	// calls used to dominate engine-programming allocations. Each view is
+	// capacity-limited so an accidental append can never bleed into its
+	// neighbor.
+	wordsPer := (inputs + 63) / 64
+	slab := make([]uint64, bitsPerCell*outputs*wordsPer)
+	bms := make([]Bitmap, bitsPerCell*outputs)
 	for b := range p.bits {
-		p.bits[b] = make([]*Bitmap, outputs)
-		for i := range p.bits[b] {
-			p.bits[b][i] = NewBitmap(inputs)
+		cols := make([]*Bitmap, outputs)
+		for i := range cols {
+			k := b*outputs + i
+			bm := &bms[k]
+			bm.n = inputs
+			bm.words = slab[k*wordsPer : (k+1)*wordsPer : (k+1)*wordsPer]
+			cols[i] = bm
 		}
+		p.bits[b] = cols
 	}
 	return p
 }
@@ -218,7 +231,7 @@ type ColumnResult struct {
 func (p *Plane) Column(i int, x *Bitmap, popX int, arr *device.Array, adc ADC) ColumnResult {
 	var stored int // exact stored-form count Σ stored_level·x
 	for b := 0; b < p.bitsPerCell; b++ {
-		stored += p.bits[b][i].AndPopCount(x) << b
+		stored += x.AndPopCountWords(p.bits[b][i].words) << b
 	}
 
 	observed := stored
@@ -252,18 +265,37 @@ func (p *Plane) Column(i int, x *Bitmap, popX int, arr *device.Array, adc ADC) C
 }
 
 // orAndPopCount computes popcount((bits[0][i] | bits[1][i] | ...) & x).
+// The per-level column word slices are hoisted once into stack scratch so
+// the inner loop ORs contiguous storage into a single scratch word per
+// position instead of re-walking the nested bits[b][i] indirection for
+// every word. The scratch lives on the stack (not the Plane): planes are
+// shared by forks that run Column concurrently.
 func orAndPopCount(bits [][]*Bitmap, i int, x *Bitmap) int {
+	var scratch [8][]uint64
+	sc := scratch[:0]
+	for b := range bits {
+		sc = append(sc, bits[b][i].words)
+	}
 	n := 0
-	words := len(x.words)
-	for w := 0; w < words; w++ {
+	tail := len(x.words) - 1
+	for w, xw := range x.words {
 		var or uint64
-		for b := range bits {
-			or |= bits[b][i].words[w]
+		for _, cw := range sc {
+			or |= cw[w]
 		}
-		n += onesCount64(or & x.words[w])
+		if w == tail {
+			xw &= x.tailMask()
+		}
+		n += onesCount64(or & xw)
 	}
 	return n
 }
+
+// ColumnWords exposes the raw word storage of level bit b of output
+// column i — the packed-layout builder in internal/core copies these
+// spans into its interleaved SWAR mirror. The returned slice aliases
+// plane state and must be treated as read-only.
+func (p *Plane) ColumnWords(b, i int) []uint64 { return p.bits[b][i].words }
 
 func minInt(a, b int) int {
 	if a < b {

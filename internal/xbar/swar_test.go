@@ -1,0 +1,108 @@
+package xbar
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPopCountTailMasking pins the defensive tail-word masking: Words
+// exposes raw storage, so a caller that smears bits into the padding
+// beyond a non-multiple-of-64 length must not change any popcount.
+func TestPopCountTailMasking(t *testing.T) {
+	for _, n := range []int{1, 7, 63, 64, 65, 70, 127, 128, 130} {
+		b := NewBitmap(n)
+		x := NewBitmap(n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := 0; i < n; i++ {
+			b.Set(i, rng.Intn(2) == 1)
+			x.Set(i, rng.Intn(2) == 1)
+		}
+		wantPop := b.PopCount()
+		wantAnd := b.AndPopCount(x)
+		wantAndW := b.AndPopCountWords(x.Words())
+		// Smear the padding bits of the last word on both operands.
+		if n%64 != 0 {
+			bw, xw := b.Words(), x.Words()
+			bw[len(bw)-1] |= ^uint64(0) << uint(n%64)
+			xw[len(xw)-1] |= ^uint64(0) << uint(n%64)
+		}
+		if got := b.PopCount(); got != wantPop {
+			t.Errorf("n=%d: PopCount with dirty padding = %d, want %d", n, got, wantPop)
+		}
+		if got := b.AndPopCount(x); got != wantAnd {
+			t.Errorf("n=%d: AndPopCount with dirty padding = %d, want %d", n, got, wantAnd)
+		}
+		if got := b.AndPopCountWords(x.Words()); got != wantAndW {
+			t.Errorf("n=%d: AndPopCountWords with dirty padding = %d, want %d", n, got, wantAndW)
+		}
+	}
+}
+
+// TestAndPopCountWordsMatchesAndPopCount cross-checks the word-span
+// primitive against the Bitmap-operand form on random inputs.
+func TestAndPopCountWordsMatchesAndPopCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(200)
+		b, x := NewBitmap(n), NewBitmap(n)
+		for i := 0; i < n; i++ {
+			b.Set(i, rng.Intn(2) == 1)
+			x.Set(i, rng.Intn(2) == 1)
+		}
+		if got, want := b.AndPopCountWords(x.Words()), b.AndPopCount(x); got != want {
+			t.Fatalf("n=%d: AndPopCountWords = %d, AndPopCount = %d", n, got, want)
+		}
+	}
+}
+
+func TestAndPopCountWordsLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on word-length mismatch")
+		}
+	}()
+	NewBitmap(100).AndPopCountWords(make([]uint64, 1))
+}
+
+// TestOrAndPopCount checks the multi-bit active-cell count against a
+// brute-force per-cell walk, including a non-multiple-of-64 input count.
+func TestOrAndPopCount(t *testing.T) {
+	const outputs, inputs, bpc = 3, 70, 2
+	p := NewPlane(outputs, inputs, bpc)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < outputs; i++ {
+		for j := 0; j < inputs; j++ {
+			p.Set(i, j, uint8(rng.Intn(1<<bpc)))
+		}
+	}
+	x := NewBitmap(inputs)
+	for j := 0; j < inputs; j++ {
+		x.Set(j, rng.Intn(2) == 1)
+	}
+	for i := 0; i < outputs; i++ {
+		want := 0
+		for j := 0; j < inputs; j++ {
+			if p.Get(i, j) != 0 && x.Get(j) {
+				want++
+			}
+		}
+		if got := orAndPopCount(p.bits, i, x); got != want {
+			t.Errorf("column %d: orAndPopCount = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestColumnWordsAliasesStorage pins that ColumnWords is a live view of
+// the plane: programming a cell is visible through the span the packed
+// builder copies.
+func TestColumnWordsAliasesStorage(t *testing.T) {
+	p := NewPlane(2, 65, 1)
+	ws := p.ColumnWords(0, 1)
+	if len(ws) != 2 {
+		t.Fatalf("65-input column spans %d words, want 2", len(ws))
+	}
+	p.Set(1, 64, 1)
+	if ws[1]&1 == 0 {
+		t.Error("ColumnWords does not alias plane storage")
+	}
+}
